@@ -1,0 +1,39 @@
+"""Tables 3 and 4: dataset generation and per-time-point size reports.
+
+The benchmark table's one row per dataset covers generation cost; each
+test also asserts that the generated sizes follow the paper's tables
+(scaled), so a timing run doubles as a calibration check.
+"""
+
+from repro.datasets import (
+    dblp_config,
+    generate_dblp,
+    generate_movielens,
+    movielens_config,
+)
+
+from conftest import BENCH_SCALE
+
+
+def test_table3_generate_dblp(benchmark):
+    graph = benchmark(generate_dblp, scale=BENCH_SCALE)
+    config = dblp_config(scale=BENCH_SCALE)
+    for year, target in zip(config.times, config.node_targets):
+        assert graph.n_nodes_at(year) == target
+
+
+def test_table4_generate_movielens(benchmark):
+    graph = benchmark(generate_movielens, scale=BENCH_SCALE)
+    config = movielens_config(scale=BENCH_SCALE)
+    for month, target in zip(config.times, config.node_targets):
+        assert graph.n_nodes_at(month) == target
+
+
+def test_table3_size_report(benchmark, dblp):
+    rows = benchmark(dblp.size_table)
+    assert len(rows) == 21
+
+
+def test_table4_size_report(benchmark, movielens):
+    rows = benchmark(movielens.size_table)
+    assert len(rows) == 6

@@ -1,0 +1,45 @@
+"""Figure 10: speedup of T-distributive union(ALL) aggregation from
+per-time-point materialization.
+
+Two benchmark rows per (dataset, attribute, interval length): the
+from-scratch union aggregation and the derivation from a warm
+MaterializedStore.  The speedup the paper plots (8x-78x on DBLP) is the
+ratio of the two rows; a correctness assertion checks the derived
+weights equal the from-scratch ones on every run.
+"""
+
+import pytest
+
+from repro.core import aggregate, union
+from repro.materialize import MaterializedStore
+
+DBLP_LENGTHS = [5, 11, 21]
+
+
+@pytest.fixture(scope="module")
+def warm_store(dblp):
+    store = MaterializedStore(dblp)
+    store.precompute(["gender"], distinct=False)
+    store.precompute(["publications"], distinct=False)
+    return store
+
+
+@pytest.mark.parametrize("attr", ["gender", "publications"])
+@pytest.mark.parametrize("length", DBLP_LENGTHS)
+def test_fig10_scratch(benchmark, dblp, attr, length):
+    span = dblp.timeline.labels[:length]
+
+    def run():
+        return aggregate(union(dblp, span), [attr], distinct=False)
+
+    benchmark(run)
+
+
+@pytest.mark.parametrize("attr", ["gender", "publications"])
+@pytest.mark.parametrize("length", DBLP_LENGTHS)
+def test_fig10_materialized(benchmark, dblp, warm_store, attr, length):
+    span = dblp.timeline.labels[:length]
+    derived = benchmark(warm_store.union_aggregate, [attr], span)
+    direct = aggregate(union(dblp, span), [attr], distinct=False)
+    assert dict(derived.node_weights) == dict(direct.node_weights)
+    assert dict(derived.edge_weights) == dict(direct.edge_weights)

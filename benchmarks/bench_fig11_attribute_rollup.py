@@ -1,0 +1,75 @@
+"""Figure 11: speedup of D-distributive attribute roll-up per time point.
+
+Deriving a subset aggregate from a materialized superset aggregate vs.
+computing the subset from scratch.  The paper reports speedups of
+6x-21x (DBLP pair -> single), up to 48x (MovieLens pair -> single) and
+smaller gains for pair/triplet roll-ups from the 4-attribute aggregate —
+the expected shape here is likewise "fewer target attributes, larger
+speedup".  Correctness (derived == scratch) is asserted on each run.
+"""
+
+import pytest
+
+from repro.core import aggregate
+from repro.materialize import MaterializedStore
+
+ML_ALL = ("gender", "age", "occupation", "rating")
+
+
+@pytest.fixture(scope="module")
+def dblp_store(dblp):
+    store = MaterializedStore(dblp)
+    for time in dblp.timeline.labels:
+        store.timepoint_aggregate(["gender", "publications"], time, distinct=True)
+    return store
+
+
+@pytest.fixture(scope="module")
+def ml_store(movielens):
+    store = MaterializedStore(movielens)
+    for time in movielens.timeline.labels:
+        store.timepoint_aggregate(list(ML_ALL), time, distinct=True)
+    return store
+
+
+@pytest.mark.parametrize("subset", [("gender",), ("publications",)],
+                         ids=lambda s: "+".join(s))
+def test_fig11a_dblp_scratch(benchmark, dblp, subset):
+    year = dblp.timeline.labels[-1]
+    benchmark(aggregate, dblp, list(subset), True, [year])
+
+
+@pytest.mark.parametrize("subset", [("gender",), ("publications",)],
+                         ids=lambda s: "+".join(s))
+def test_fig11a_dblp_rollup(benchmark, dblp, dblp_store, subset):
+    year = dblp.timeline.labels[-1]
+    derived = benchmark(
+        dblp_store.rollup_aggregate,
+        ["gender", "publications"], list(subset), year,
+    )
+    direct = aggregate(dblp, list(subset), distinct=True, times=[year])
+    assert dict(derived.node_weights) == dict(direct.node_weights)
+
+
+@pytest.mark.parametrize(
+    "subset",
+    [("gender",), ("rating",), ("gender", "age"), ("gender", "age", "rating")],
+    ids=lambda s: "+".join(s),
+)
+def test_fig11bcd_movielens_scratch(benchmark, movielens, subset):
+    month = "Aug"
+    benchmark(aggregate, movielens, list(subset), True, [month])
+
+
+@pytest.mark.parametrize(
+    "subset",
+    [("gender",), ("rating",), ("gender", "age"), ("gender", "age", "rating")],
+    ids=lambda s: "+".join(s),
+)
+def test_fig11bcd_movielens_rollup(benchmark, movielens, ml_store, subset):
+    month = "Aug"
+    derived = benchmark(
+        ml_store.rollup_aggregate, list(ML_ALL), list(subset), month
+    )
+    direct = aggregate(movielens, list(subset), distinct=True, times=[month])
+    assert dict(derived.node_weights) == dict(direct.node_weights)

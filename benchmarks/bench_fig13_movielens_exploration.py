@@ -1,0 +1,79 @@
+"""Figure 13: exploration of female-female co-rating edges (MovieLens).
+
+Three cases over a threshold ladder derived per Section 3.5:
+
+* (a) stability — maximal pairs, intersection semantics (I-Explore);
+* (b) growth — minimal pairs, union semantics (U-Explore);
+* (c) shrinkage — minimal pairs, union semantics.
+
+Each benchmark runs the full exploration; assertions pin the paper's
+qualitative findings (the August spike dominates growth, edge turnover
+is high).
+"""
+
+import pytest
+
+from repro.exploration import (
+    EventType,
+    ExtendSide,
+    Goal,
+    explore,
+    suggest_threshold,
+)
+
+FF = (("f",), ("f",))
+
+
+@pytest.fixture(scope="module")
+def thresholds(movielens):
+    return {
+        EventType.STABILITY: suggest_threshold(
+            movielens, EventType.STABILITY, "max", attributes=["gender"], key=FF
+        ),
+        EventType.GROWTH: suggest_threshold(
+            movielens, EventType.GROWTH, "max", attributes=["gender"], key=FF
+        ),
+        EventType.SHRINKAGE: suggest_threshold(
+            movielens, EventType.SHRINKAGE, "min", attributes=["gender"], key=FF
+        ),
+    }
+
+
+@pytest.mark.parametrize("k_factor", [0.1, 0.5, 1.0])
+def test_fig13a_stability_maximal(benchmark, movielens, thresholds, k_factor):
+    k = max(1, round(thresholds[EventType.STABILITY] * k_factor))
+    result = benchmark(
+        explore, movielens, EventType.STABILITY, Goal.MAXIMAL,
+        ExtendSide.NEW, k, attributes=["gender"], key=FF,
+    )
+    for pair in result.pairs:
+        assert pair.count >= k
+
+
+@pytest.mark.parametrize("k_factor", [0.1, 0.5, 1.0])
+def test_fig13b_growth_minimal(benchmark, movielens, thresholds, k_factor):
+    k = max(1, round(thresholds[EventType.GROWTH] * k_factor))
+    result = benchmark(
+        explore, movielens, EventType.GROWTH, Goal.MINIMAL,
+        ExtendSide.NEW, k, attributes=["gender"], key=FF,
+    )
+    if k == thresholds[EventType.GROWTH]:
+        # The paper's headline: the largest growth lands on August — at
+        # the top threshold, every minimal pair's new interval must
+        # include August to reach k.
+        labels = movielens.timeline.labels
+        aug = labels.index("Aug")
+        assert result.pairs
+        for pair in result.pairs:
+            assert aug in pair.new.interval
+
+
+@pytest.mark.parametrize("k_factor", [1.0, 2.0, 5.0])
+def test_fig13c_shrinkage_minimal(benchmark, movielens, thresholds, k_factor):
+    k = max(1, round(thresholds[EventType.SHRINKAGE] * k_factor))
+    result = benchmark(
+        explore, movielens, EventType.SHRINKAGE, Goal.MINIMAL,
+        ExtendSide.OLD, k, attributes=["gender"], key=FF,
+    )
+    for pair in result.pairs:
+        assert pair.count >= k

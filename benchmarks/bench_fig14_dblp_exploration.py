@@ -1,0 +1,68 @@
+"""Figure 14: exploration of female-female collaborations (DBLP).
+
+Same three cases as Figure 13, on the collaboration graph: maximal
+stability (intersection), minimal growth and minimal shrinkage (union),
+with the Section 3.5 threshold ladders (k scaled from w_th).
+"""
+
+import pytest
+
+from repro.exploration import (
+    EventType,
+    ExtendSide,
+    Goal,
+    explore,
+    suggest_threshold,
+)
+
+FF = (("f",), ("f",))
+
+
+@pytest.fixture(scope="module")
+def w_th(dblp):
+    return {
+        EventType.STABILITY: suggest_threshold(
+            dblp, EventType.STABILITY, "max", attributes=["gender"], key=FF
+        ),
+        EventType.GROWTH: suggest_threshold(
+            dblp, EventType.GROWTH, "max", attributes=["gender"], key=FF
+        ),
+        EventType.SHRINKAGE: suggest_threshold(
+            dblp, EventType.SHRINKAGE, "min", attributes=["gender"], key=FF
+        ),
+    }
+
+
+@pytest.mark.parametrize("k_factor", [0.02, 0.5, 1.0])
+def test_fig14a_stability_maximal(benchmark, dblp, w_th, k_factor):
+    k = max(1, round(w_th[EventType.STABILITY] * k_factor))
+    result = benchmark(
+        explore, dblp, EventType.STABILITY, Goal.MAXIMAL,
+        ExtendSide.NEW, k, attributes=["gender"], key=FF,
+    )
+    for pair in result.pairs:
+        assert pair.count >= k
+
+
+@pytest.mark.parametrize("k_factor", [0.1, 1 / 3, 1.0])
+def test_fig14b_growth_minimal(benchmark, dblp, w_th, k_factor):
+    k = max(1, round(w_th[EventType.GROWTH] * k_factor))
+    result = benchmark(
+        explore, dblp, EventType.GROWTH, Goal.MINIMAL,
+        ExtendSide.NEW, k, attributes=["gender"], key=FF,
+    )
+    if k == w_th[EventType.GROWTH]:
+        # The threshold equals the largest consecutive-pair growth, so at
+        # least one pair must reach it.
+        assert result.pairs
+
+
+@pytest.mark.parametrize("k_factor", [1.0, 5.0, 20.0])
+def test_fig14c_shrinkage_minimal(benchmark, dblp, w_th, k_factor):
+    k = max(1, round(w_th[EventType.SHRINKAGE] * k_factor))
+    result = benchmark(
+        explore, dblp, EventType.SHRINKAGE, Goal.MINIMAL,
+        ExtendSide.OLD, k, attributes=["gender"], key=FF,
+    )
+    for pair in result.pairs:
+        assert pair.count >= k

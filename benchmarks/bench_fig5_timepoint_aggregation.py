@@ -1,0 +1,35 @@
+"""Figure 5: aggregation time per attribute (set) on single time points.
+
+Paper series: per-attribute and combined-attribute aggregation time at
+each time point, for DBLP (gender, publications, both) and MovieLens
+(gender, rating, pairs, all four attributes).  Here each (dataset,
+attribute set, representative time point) is one benchmark row; the
+expected shape is: static < time-varying < combinations, and MovieLens's
+August above the other months.
+"""
+
+import pytest
+
+from repro.core import aggregate
+
+DBLP_ATTRS = [("gender",), ("publications",), ("gender", "publications")]
+ML_ATTRS = [
+    ("gender",),
+    ("rating",),
+    ("gender", "rating"),
+    ("gender", "age", "occupation", "rating"),
+]
+
+
+@pytest.mark.parametrize("attrs", DBLP_ATTRS, ids=lambda a: "+".join(a))
+@pytest.mark.parametrize("year", [2000, 2010, 2020])
+def test_fig5a_dblp(benchmark, dblp, attrs, year):
+    result = benchmark(aggregate, dblp, list(attrs), True, [year])
+    assert result.total_node_weight() == dblp.n_nodes_at(year)
+
+
+@pytest.mark.parametrize("attrs", ML_ATTRS, ids=lambda a: "+".join(a))
+@pytest.mark.parametrize("month", ["May", "Aug", "Oct"])
+def test_fig5b_movielens(benchmark, movielens, attrs, month):
+    result = benchmark(aggregate, movielens, list(attrs), True, [month])
+    assert result.total_node_weight() == movielens.n_nodes_at(month)

@@ -1,0 +1,55 @@
+"""Figure 6: union + aggregation (DIST and ALL) over extending intervals.
+
+Paper series: total time of the union operator plus aggregation, per
+attribute type and aggregation mode, as the interval [t0 .. t0+L]
+extends.  Expected shape: time grows with interval length, time-varying
+attributes cost several times more than static ones, and DIST vs ALL
+differ more for time-varying attributes.
+"""
+
+import pytest
+
+from repro.core import aggregate, union
+
+
+def _span(graph, length):
+    return graph.timeline.labels[:length]
+
+
+DBLP_LENGTHS = [2, 6, 11, 21]
+ML_LENGTHS = [2, 4, 6]
+
+
+@pytest.mark.parametrize("distinct", [True, False], ids=["DIST", "ALL"])
+@pytest.mark.parametrize("attr", ["gender", "publications"])
+@pytest.mark.parametrize("length", DBLP_LENGTHS)
+def test_fig6_dblp(benchmark, dblp, attr, distinct, length):
+    span = _span(dblp, length)
+
+    def run():
+        return aggregate(union(dblp, span), [attr], distinct=distinct)
+
+    result = benchmark(run)
+    assert result.total_node_weight() > 0
+
+
+@pytest.mark.parametrize("distinct", [True, False], ids=["DIST", "ALL"])
+@pytest.mark.parametrize("attr", ["gender", "rating"])
+@pytest.mark.parametrize("length", ML_LENGTHS)
+def test_fig6_movielens(benchmark, movielens, attr, distinct, length):
+    span = _span(movielens, length)
+
+    def run():
+        return aggregate(union(movielens, span), [attr], distinct=distinct)
+
+    result = benchmark(run)
+    assert result.total_node_weight() > 0
+
+
+@pytest.mark.parametrize("length", DBLP_LENGTHS)
+def test_fig6_union_operator_only(benchmark, dblp, length):
+    """The operator-vs-aggregation time split of Figs. 6b/6c: this is the
+    operator half; compare against the combined rows above."""
+    span = _span(dblp, length)
+    result = benchmark(union, dblp, span)
+    assert result.n_nodes > 0

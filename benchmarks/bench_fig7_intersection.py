@@ -1,0 +1,54 @@
+"""Figure 7: intersection (strict span) + DIST aggregation over extending
+intervals.
+
+The paper sweeps anchored intervals until the longest one that still has
+a common edge ([2000, 2017] for DBLP, [May, Jul] for MovieLens).  The
+expected shape: operator cost dominates aggregation for static
+attributes (the result shrinks as the span grows), while aggregation
+dominates for time-varying attributes.
+"""
+
+import pytest
+
+from repro.bench.experiments import _strict_span_limit
+from repro.core import aggregate, project
+
+
+def _lengths(graph, wanted):
+    limit = _strict_span_limit(graph)
+    return sorted({min(length, limit) for length in wanted})
+
+
+@pytest.mark.parametrize("attr", ["gender", "publications"])
+@pytest.mark.parametrize("length_index", [0, 1, 2])
+def test_fig7_dblp(benchmark, dblp, attr, length_index):
+    lengths = _lengths(dblp, [2, 6, 18])
+    length = lengths[min(length_index, len(lengths) - 1)]
+    span = dblp.timeline.labels[:length]
+
+    def run():
+        return aggregate(project(dblp, span), [attr], distinct=True)
+
+    benchmark(run)
+
+
+@pytest.mark.parametrize("attr", ["gender", "rating"])
+@pytest.mark.parametrize("length_index", [0, 1])
+def test_fig7_movielens(benchmark, movielens, attr, length_index):
+    lengths = _lengths(movielens, [2, 3])
+    length = lengths[min(length_index, len(lengths) - 1)]
+    span = movielens.timeline.labels[:length]
+
+    def run():
+        return aggregate(project(movielens, span), [attr], distinct=True)
+
+    benchmark(run)
+
+
+@pytest.mark.parametrize("length_index", [0, 2])
+def test_fig7_operator_only(benchmark, dblp, length_index):
+    """Operator half of the Fig. 7b/7c time split."""
+    lengths = _lengths(dblp, [2, 6, 18])
+    length = lengths[min(length_index, len(lengths) - 1)]
+    span = dblp.timeline.labels[:length]
+    benchmark(project, dblp, span)

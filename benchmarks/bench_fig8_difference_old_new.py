@@ -1,0 +1,49 @@
+"""Figure 8: difference T_old(∪) - T_new plus aggregation (deletions).
+
+T_new is the last time point; T_old is an anchored interval extending
+under union semantics.  Expected shape: total time grows as T_old
+extends (the operator output grows), the operator dominates aggregation
+for static attributes, and aggregation dominates for time-varying ones.
+"""
+
+import pytest
+
+from repro.core import aggregate, difference
+
+DBLP_LENGTHS = [2, 10, 20]
+ML_LENGTHS = [2, 5]
+
+
+@pytest.mark.parametrize("distinct", [True, False], ids=["DIST", "ALL"])
+@pytest.mark.parametrize("attr", ["gender", "publications"])
+@pytest.mark.parametrize("length", DBLP_LENGTHS)
+def test_fig8_dblp(benchmark, dblp, attr, distinct, length):
+    labels = dblp.timeline.labels
+    old_span, new_times = labels[:length], (labels[-1],)
+
+    def run():
+        return aggregate(
+            difference(dblp, old_span, new_times), [attr], distinct=distinct
+        )
+
+    benchmark(run)
+
+
+@pytest.mark.parametrize("attr", ["gender", "rating"])
+@pytest.mark.parametrize("length", ML_LENGTHS)
+def test_fig8_movielens(benchmark, movielens, attr, length):
+    labels = movielens.timeline.labels
+    old_span, new_times = labels[:length], (labels[-1],)
+
+    def run():
+        return aggregate(
+            difference(movielens, old_span, new_times), [attr], distinct=True
+        )
+
+    benchmark(run)
+
+
+@pytest.mark.parametrize("length", DBLP_LENGTHS)
+def test_fig8_operator_only(benchmark, dblp, length):
+    labels = dblp.timeline.labels
+    benchmark(difference, dblp, labels[:length], (labels[-1],))

@@ -1,0 +1,49 @@
+"""Figure 9: difference T_new - T_old(∪) plus aggregation (additions).
+
+Same sweep as Figure 8 with the operands swapped: the output is the
+new entities of the last time point, which *shrinks* as T_old extends,
+so this direction is cheaper than Fig. 8 and the aggregation (a
+single-time-point aggregation) is faster than the operator.
+"""
+
+import pytest
+
+from repro.core import aggregate, difference
+
+DBLP_LENGTHS = [2, 10, 20]
+ML_LENGTHS = [2, 5]
+
+
+@pytest.mark.parametrize("distinct", [True, False], ids=["DIST", "ALL"])
+@pytest.mark.parametrize("attr", ["gender", "publications"])
+@pytest.mark.parametrize("length", DBLP_LENGTHS)
+def test_fig9_dblp(benchmark, dblp, attr, distinct, length):
+    labels = dblp.timeline.labels
+    old_span, new_times = labels[:length], (labels[-1],)
+
+    def run():
+        return aggregate(
+            difference(dblp, new_times, old_span), [attr], distinct=distinct
+        )
+
+    benchmark(run)
+
+
+@pytest.mark.parametrize("attr", ["gender", "rating"])
+@pytest.mark.parametrize("length", ML_LENGTHS)
+def test_fig9_movielens(benchmark, movielens, attr, length):
+    labels = movielens.timeline.labels
+    old_span, new_times = labels[:length], (labels[-1],)
+
+    def run():
+        return aggregate(
+            difference(movielens, new_times, old_span), [attr], distinct=True
+        )
+
+    benchmark(run)
+
+
+@pytest.mark.parametrize("length", DBLP_LENGTHS)
+def test_fig9_operator_only(benchmark, dblp, length):
+    labels = dblp.timeline.labels
+    benchmark(difference, dblp, (labels[-1],), labels[:length])

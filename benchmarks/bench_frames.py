@@ -1,0 +1,103 @@
+"""Micro-benchmarks for the labeled-array substrate.
+
+The figure-level costs all decompose into these primitives (presence
+mask reductions, row selection, unpivot, dedup, group-count, hash join);
+tracking them separately makes substrate regressions visible before
+they smear into every figure.
+"""
+
+import numpy as np
+import pytest
+
+from repro.frames import LabeledFrame, Table, unpivot
+
+N_ROWS = 20_000
+N_COLS = 21
+
+
+@pytest.fixture(scope="module")
+def presence():
+    rng = np.random.default_rng(0)
+    values = (rng.random((N_ROWS, N_COLS)) < 0.3).astype(np.uint8)
+    return LabeledFrame(range(N_ROWS), range(N_COLS), values)
+
+
+@pytest.fixture(scope="module")
+def long_table(presence):
+    rng = np.random.default_rng(1)
+    rows = [
+        (int(i), int(t), int(v))
+        for i, t, v in zip(
+            rng.integers(0, N_ROWS, 50_000),
+            rng.integers(0, N_COLS, 50_000),
+            rng.integers(1, 15, 50_000),
+        )
+    ]
+    return Table(["id", "t", "value"], rows)
+
+
+class TestFramePrimitives:
+    def test_any_mask(self, benchmark, presence):
+        result = benchmark(presence.any_mask, list(range(10)))
+        assert result.shape == (N_ROWS,)
+
+    def test_all_mask(self, benchmark, presence):
+        benchmark(presence.all_mask, list(range(5)))
+
+    def test_count_nonzero_by_row(self, benchmark, presence):
+        counts = benchmark(presence.count_nonzero_by_row)
+        assert len(counts) == N_ROWS
+
+    def test_select_rows(self, benchmark, presence):
+        wanted = list(range(0, N_ROWS, 3))
+        sub = benchmark(presence.select_rows, wanted)
+        assert sub.n_rows == len(wanted)
+
+    def test_restrict_cols(self, benchmark, presence):
+        benchmark(presence.restrict_cols, list(range(0, N_COLS, 2)))
+
+    def test_unpivot(self, benchmark, presence):
+        long = benchmark(unpivot, presence)
+        assert len(long) == N_ROWS * N_COLS
+
+
+class TestTablePrimitives:
+    def test_deduplicate(self, benchmark, long_table):
+        deduped = benchmark(long_table.deduplicate, ["id", "value"])
+        assert len(deduped) <= len(long_table)
+
+    def test_groupby_count(self, benchmark, long_table):
+        counts = benchmark(long_table.groupby_count, ["value"])
+        assert sum(counts.values()) == len(long_table)
+
+    def test_groupby_sum(self, benchmark, long_table):
+        benchmark(long_table.groupby_sum, ["id"], "value")
+
+    def test_join(self, benchmark, long_table):
+        right = Table(
+            ["id", "gender"],
+            [(i, "m" if i % 5 else "f") for i in range(N_ROWS)],
+        )
+        joined = benchmark(long_table.join, right, ["id"])
+        assert len(joined) == len(long_table)
+
+    def test_order_by(self, benchmark, long_table):
+        benchmark(long_table.order_by, ["value", "id"])
+
+
+class TestQueryLanguage:
+    def test_parse(self, benchmark):
+        from repro.query import parse
+
+        benchmark(
+            parse,
+            "explore growth minimal extend new k 10 on edges by gender key f -> m",
+        )
+
+    def test_run_query_aggregate(self, benchmark, dblp):
+        from repro.query import run_query
+
+        result = benchmark(
+            run_query, dblp, "aggregate gender all over union [2000..2005]"
+        )
+        assert result.total_node_weight() > 0

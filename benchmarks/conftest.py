@@ -1,0 +1,34 @@
+"""Shared benchmark fixtures.
+
+The benchmark suite runs against the synthetic DBLP/MovieLens graphs at a
+configurable fraction of the paper's sizes.  Set ``REPRO_BENCH_SCALE``
+(default 0.05) to trade fidelity for runtime; 1.0 regenerates the paper's
+full Table 3/4 sizes (dataset generation alone then takes ~90 s).
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.datasets import generate_dblp, generate_movielens
+
+BENCH_SCALE = float(os.environ.get("REPRO_BENCH_SCALE", "0.05"))
+
+
+@pytest.fixture(scope="session")
+def bench_scale() -> float:
+    return BENCH_SCALE
+
+
+@pytest.fixture(scope="session")
+def dblp():
+    """The DBLP-like graph at the benchmark scale."""
+    return generate_dblp(scale=BENCH_SCALE)
+
+
+@pytest.fixture(scope="session")
+def movielens():
+    """The MovieLens-like graph at the benchmark scale."""
+    return generate_movielens(scale=BENCH_SCALE)

@@ -1,0 +1,102 @@
+"""Bringing your own data: build, audit, persist and query a graph.
+
+The adoption path for a downstream user with their own evolving graph:
+
+1. build a :class:`~repro.core.TemporalGraph` from per-day records with
+   the builder (or :func:`repro.interop.from_snapshots` for networkx
+   data);
+2. audit it with :mod:`repro.diagnostics`;
+3. persist it as CSVs and reload it;
+4. analyse it with the query language and the session facade.
+
+The toy data here is a five-person messaging network over four days
+with a static ``team`` attribute and a time-varying ``workload`` level.
+
+Run with ``python examples/custom_dataset.py``.
+"""
+
+import tempfile
+from pathlib import Path
+
+from repro import GraphTempoSession
+from repro.core import TemporalGraphBuilder
+from repro.datasets import load_graph, save_graph
+from repro.diagnostics import check_graph, format_findings
+from repro.query import run_query
+
+DAYS = ("mon", "tue", "wed", "thu")
+
+#: (person, team) -> workload per day (None = absent that day).
+PEOPLE = {
+    "ana": ("core", [2, 3, 3, 1]),
+    "bo": ("core", [1, 1, None, 1]),
+    "cal": ("infra", [3, None, 2, 2]),
+    "dee": ("infra", [2, 2, 2, None]),
+    "eve": ("core", [None, 1, 2, 3]),
+}
+
+#: (sender, receiver) -> active days.
+MESSAGES = {
+    ("ana", "bo"): ["mon", "tue"],
+    ("ana", "cal"): ["mon", "wed"],
+    ("bo", "dee"): ["mon", "tue"],
+    ("cal", "dee"): ["mon", "wed"],
+    ("eve", "ana"): ["tue", "wed"],
+    ("eve", "bo"): ["tue", "thu"],
+    ("ana", "eve"): ["thu"],
+}
+
+
+def build() -> "object":
+    builder = TemporalGraphBuilder(DAYS, static=["team"], varying=["workload"])
+    for person, (team, workloads) in PEOPLE.items():
+        builder.add_node(person, {"team": team})
+        for day, load in zip(DAYS, workloads):
+            if load is not None:
+                builder.set_node_presence(person, day, workload=load)
+    for (sender, receiver), days in MESSAGES.items():
+        builder.add_edge(sender, receiver, days)
+    return builder.build()
+
+
+def main() -> None:
+    graph = build()
+    print("built:", graph)
+
+    print("\n--- 1. audit ---")
+    print(format_findings(check_graph(graph)))
+
+    print("\n--- 2. persist and reload ---")
+    with tempfile.TemporaryDirectory() as tmp:
+        target = Path(tmp) / "messaging"
+        save_graph(graph, target)
+        reloaded = load_graph(target, value_parsers={"workload": int})
+        print(f"reloaded matches: {reloaded.size_table() == graph.size_table()}")
+
+    print("\n--- 3. query it ---")
+    for text in (
+        "aggregate team all over union [mon..thu]",
+        "aggregate team, workload over union [mon], [tue]",
+        "evolution [mon..tue] -> [wed..thu] by team",
+        "explore growth k 2 on edges by team key core -> core",
+    ):
+        print(f"\n> {text}")
+        result = run_query(graph, text)
+        if hasattr(result, "to_tables"):
+            nodes, _ = result.to_tables()
+            print(nodes.to_string())
+        elif hasattr(result, "node_weights"):
+            for key, weights in sorted(result.node_weights.items()):
+                print(f"  {key}: {weights}")
+        else:
+            print(f"  {result}")
+
+    print("\n--- 4. or drive it through a session ---")
+    session = GraphTempoSession(graph)
+    cross_team = session.aggregate(["team"], window=("mon", "thu"),
+                                   distinct=False)
+    print(f"message volume by team pair: {dict(cross_team.edge_weights)}")
+
+
+if __name__ == "__main__":
+    main()

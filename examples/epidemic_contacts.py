@@ -1,0 +1,101 @@
+"""Disease-propagation monitoring: the paper's school-contact scenario.
+
+Section 1 motivates GraphTempo with face-to-face proximity networks in
+schools: contacts concentrate within a class and grade, so temporal
+aggregation by (class, grade) reveals how risky the contact structure is
+and whether mitigation (targeted class closure) worked.
+
+This example uses :func:`repro.datasets.generate_contacts`: an 8-day
+school contact network where the 2nd grade is closed on days 5-6.
+GraphTempo is then used to:
+
+1. aggregate contacts by grade and check homophily (within-grade edge
+   weight vs cross-grade weight);
+2. measure shrinkage of contacts at the closure — the paper's proposed
+   way to evaluate a mitigation measure;
+3. detect stable cross-grade contacts that persist despite the closure,
+   indicating further measures are needed.
+
+Run with ``python examples/epidemic_contacts.py``.
+"""
+
+from repro import aggregate, union
+from repro.analysis import exploration_report, homophily
+from repro.datasets import ContactNetworkConfig, generate_contacts
+from repro.exploration import EntityKind, EventType, ExtendSide, Goal
+
+
+def main() -> None:
+    graph = generate_contacts(
+        ContactNetworkConfig(
+            days=8,
+            pupils_per_class=20,
+            contacts_per_day=600,
+            closed_grade="2nd",
+            closure_days=(4, 5),  # days 5 and 6
+        )
+    )
+    print("School contact network:", graph)
+
+    print("\n--- 1. Homophily: aggregate contacts by grade (week 1) ---")
+    week1 = union(graph, graph.timeline.labels[:4])
+    by_grade = aggregate(week1, ["grade"], distinct=False)
+    share = homophily(by_grade)
+    print(f"within-grade contact share: {share:.0%} "
+          "(random mixing over 3 grades would be ~33%)")
+    by_class = aggregate(week1, ["grade", "klass"], distinct=False)
+    print(f"within-class contact share: {homophily(by_class):.0%}")
+
+    print("\n--- 2. Did the closure remove pupils from circulation? ---")
+    # Contacts churn daily regardless of mitigation, so the closure
+    # signal lives in *node* shrinkage: pupils disappearing from the
+    # contact graph.
+    report = exploration_report(
+        graph,
+        EventType.SHRINKAGE,
+        Goal.MINIMAL,
+        ExtendSide.OLD,
+        thresholds=[10, 25, 40],
+        entity=EntityKind.NODES,
+        title="shrinkage of pupils in circulation",
+    )
+    print(report.text)
+    best = report.results[10].best()
+    if best is not None:
+        labels = graph.timeline.labels
+        print(
+            f"largest pupil shrinkage: {best.count} pupils left circulation "
+            f"between {labels[best.old.interval.stop]} and "
+            f"{labels[best.new.interval.start]} — the closure onset."
+        )
+
+    print("\n--- 3. Stable contacts that survived the closure ---")
+    report = exploration_report(
+        graph,
+        EventType.STABILITY,
+        Goal.MAXIMAL,
+        ExtendSide.NEW,
+        thresholds=[50, 150],
+        title="stability of contacts across day pairs",
+    )
+    print(report.text)
+
+    print("\n--- 4. Which grade pairs kept growing during the closure? ---")
+    from repro.exploration import explore_groups
+
+    sweep = explore_groups(
+        graph, EventType.GROWTH, Goal.MINIMAL, ExtendSide.NEW,
+        k=30, attributes=["grade"],
+    )
+    for key in sweep.interesting_groups[:4]:
+        print(f"  {key[0][0]} -> {key[1][0]}: best pair {sweep.best_pair(key)}")
+    print(
+        "\nStable and still-growing contacts during the closure window "
+        "indicate residual transmission paths — the paper's argument for "
+        "monitoring stability, not just shrinkage, when evaluating "
+        "mitigations."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,81 @@
+"""Interval-pair exploration: the paper's MovieLens scenario (Fig. 13).
+
+Finds, for female-female co-rating edges:
+
+* the **maximal** interval pairs with at least k *stable* edges
+  (intersection semantics, I-Explore);
+* the **minimal** interval pairs with at least k *new* edges
+  (union semantics, U-Explore);
+* the **minimal** interval pairs with at least k *deleted* edges.
+
+Thresholds follow Section 3.5: ``w_th`` is taken from the aggregates of
+consecutive month pairs and scaled into a ladder ``k1 <= k2 <= k3``.
+
+Run with ``python examples/movielens_exploration.py [scale]``.
+"""
+
+import sys
+
+from repro.analysis import exploration_report
+from repro.datasets import generate_movielens
+from repro.exploration import (
+    EventType,
+    ExtendSide,
+    Goal,
+    suggest_threshold,
+    threshold_ladder,
+)
+
+FEMALE_FEMALE = (("f",), ("f",))
+
+
+def main(scale: float = 0.05) -> None:
+    print(f"Generating MovieLens-like graph at scale {scale}...")
+    graph = generate_movielens(scale=scale)
+
+    print("\n=== Figure 13a: stability (maximal pairs, intersection) ===\n")
+    w_th = suggest_threshold(
+        graph, EventType.STABILITY, mode="max",
+        attributes=["gender"], key=FEMALE_FEMALE,
+    )
+    ladder = sorted(set(threshold_ladder(w_th, (1 / 86, 0.5, 1.0))))
+    report = exploration_report(
+        graph, EventType.STABILITY, Goal.MAXIMAL, ExtendSide.NEW, ladder,
+        attributes=["gender"], key=FEMALE_FEMALE,
+        title=f"stability of f-f co-ratings, w_th={w_th}",
+    )
+    print(report.text)
+
+    print("\n=== Figure 13b: growth (minimal pairs, union) ===\n")
+    w_th = suggest_threshold(
+        graph, EventType.GROWTH, mode="max",
+        attributes=["gender"], key=FEMALE_FEMALE,
+    )
+    ladder = sorted(set(threshold_ladder(w_th, (1 / 12, 0.5, 1.0))))
+    report = exploration_report(
+        graph, EventType.GROWTH, Goal.MINIMAL, ExtendSide.NEW, ladder,
+        attributes=["gender"], key=FEMALE_FEMALE,
+        title=f"growth of f-f co-ratings, w_th={w_th}",
+    )
+    print(report.text)
+
+    print("\n=== Figure 13c: shrinkage (minimal pairs, union) ===\n")
+    w_th = suggest_threshold(
+        graph, EventType.SHRINKAGE, mode="min",
+        attributes=["gender"], key=FEMALE_FEMALE,
+    )
+    ladder = sorted(set(threshold_ladder(w_th, (1.0, 2.0, 5.0))))
+    report = exploration_report(
+        graph, EventType.SHRINKAGE, Goal.MINIMAL, ExtendSide.OLD, ladder,
+        attributes=["gender"], key=FEMALE_FEMALE,
+        title=f"shrinkage of f-f co-ratings, w_th={w_th}",
+    )
+    print(report.text)
+    print(
+        "\nAs in the paper, the August spike dominates: the largest growth "
+        "lands on August and the edge set shows high month-to-month turnover."
+    )
+
+
+if __name__ == "__main__":
+    main(float(sys.argv[1]) if len(sys.argv) > 1 else 0.05)

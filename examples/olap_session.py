@@ -1,0 +1,74 @@
+"""Interactive OLAP-style analysis with the session facade.
+
+Demonstrates the exploration framework the paper's conclusion plans:
+one :class:`~repro.GraphTempoSession` over the MovieLens-like graph,
+with a month->season time hierarchy, materialized views chosen by the
+greedy policy, and a chain of roll-up / drill-down / slice / dice /
+zoom-out steps answering questions about the co-rating population.
+
+Run with ``python examples/olap_session.py [scale]``.
+"""
+
+import sys
+
+from repro import GraphTempoSession
+from repro.analysis import homophily
+from repro.core import TimeHierarchy
+from repro.datasets import generate_movielens
+from repro.olap import drill_across, greedy_view_selection
+
+
+def main(scale: float = 0.05) -> None:
+    graph = generate_movielens(scale=scale)
+    hierarchy = TimeHierarchy(
+        {"summer": ["May", "Jun", "Jul", "Aug"], "fall": ["Sep", "Oct"]}
+    )
+    session = GraphTempoSession(graph, hierarchy)
+    print(session.report())
+
+    print("\n--- choose views to materialize (greedy, budget 4) ---")
+    selection = greedy_view_selection(
+        graph, graph.attribute_names, budget=4
+    )
+    for view in selection.selected:
+        print(f"  materialize {view}")
+        session.cube.materialize(view, distinct=False)
+
+    print("\n--- who rates together? gender x age over the summer ---")
+    by_gender_age = session.cube.cuboid(
+        ["gender", "age"], times=["summer"], distinct=False
+    )
+    nodes, _ = by_gender_age.to_tables()
+    print(nodes.to_string(max_rows=6))
+    print(f"cube served this via: {session.cube.stats}")
+
+    print("\n--- roll up to gender, then slice the female population ---")
+    by_gender = session.cube.rollup(
+        ["gender", "age"], remove="age", times=["summer"]
+    )
+    print(f"gender weights: {dict(by_gender.node_weights)}")
+    female_by_age = session.cube.slice(
+        ["gender", "age"], "gender", "f", times=["summer"]
+    )
+    print(f"female users by age group: {dict(female_by_age.node_weights)}")
+
+    print("\n--- drill across: summer vs fall gender mix ---")
+    fall = session.cube.cuboid(["gender"], times=["fall"], distinct=False)
+    summer = session.cube.cuboid(["gender"], times=["summer"], distinct=False)
+    for key, (s, f) in sorted(drill_across(summer, fall).items()):
+        print(f"  {key}: summer {s} appearances -> fall {f}")
+
+    print("\n--- homophily of gendered co-rating, per month ---")
+    for month in graph.timeline.labels:
+        agg = session.aggregate(["gender"], window=[month], distinct=False)
+        print(f"  {month}: {homophily(agg):.3f}")
+
+    print("\n--- zoom out to seasons and re-ask ---")
+    zoomed = session.zoom_out("union")
+    print(zoomed.report())
+    agg = zoomed.aggregate(["gender"], distinct=False)
+    print(f"seasonal gender weights: {dict(agg.node_weights)}")
+
+
+if __name__ == "__main__":
+    main(float(sys.argv[1]) if len(sys.argv) > 1 else 0.05)

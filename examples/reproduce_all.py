@@ -1,0 +1,168 @@
+"""Regenerate every table and figure of the paper's evaluation section.
+
+Runs the full experiment suite — Tables 3/4 and Figures 5-14 — on the
+synthetic datasets and prints each artifact's series/rows.  This is the
+script behind EXPERIMENTS.md; at the default scale (0.1) it takes a few
+minutes, most of it in the MovieLens time-varying sweeps.
+
+Run with ``python examples/reproduce_all.py [scale]``.
+"""
+
+import sys
+import time
+
+from repro.analysis import dataset_report, evolution_report, exploration_report
+from repro.bench import (
+    fig5_timepoint_aggregation,
+    fig6_union_aggregation,
+    fig7_intersection_aggregation,
+    fig8_difference_old_new,
+    fig9_difference_new_old,
+    fig10_materialized_union_speedup,
+    fig11_attribute_rollup_speedup,
+    format_series,
+)
+from repro.datasets import generate_dblp, generate_movielens
+from repro.exploration import (
+    EventType,
+    ExtendSide,
+    Goal,
+    suggest_threshold,
+    threshold_ladder,
+)
+
+FF = (("f",), ("f",))
+
+
+def banner(title: str) -> None:
+    print()
+    print("=" * 72)
+    print(title)
+    print("=" * 72)
+
+
+def show(series) -> None:
+    print(
+        format_series(
+            series.series,
+            series.x_labels,
+            x_name=series.x_name,
+            value_name=series.value_name,
+            title=series.name,
+        )
+    )
+
+
+def main(scale: float = 0.1) -> None:
+    started = time.time()
+    print(f"Running all experiments at scale {scale}")
+
+    banner("Tables 3 / 4 — dataset sizes")
+    dblp = generate_dblp(scale=scale)
+    movielens = generate_movielens(scale=scale)
+    print(dataset_report(dblp, "DBLP"))
+    print()
+    print(dataset_report(movielens, "MovieLens"))
+
+    banner("Figure 5 — time-point aggregation per attribute")
+    show(fig5_timepoint_aggregation(
+        dblp, [["gender"], ["publications"], ["gender", "publications"]]
+    ))
+    print()
+    show(fig5_timepoint_aggregation(
+        movielens,
+        [["gender"], ["rating"], ["gender", "rating"],
+         ["gender", "age", "occupation", "rating"]],
+    ))
+
+    banner("Figure 6 — union + aggregation (DIST/ALL)")
+    show(fig6_union_aggregation(dblp, [["gender"], ["publications"]]))
+    print()
+    show(fig6_union_aggregation(movielens, [["gender"], ["rating"]]))
+
+    banner("Figure 7 — intersection + aggregation (DIST)")
+    show(fig7_intersection_aggregation(
+        dblp, [["gender"], ["publications"]]
+    ))
+    print()
+    show(fig7_intersection_aggregation(movielens, [["gender"], ["rating"]]))
+
+    banner("Figure 8 — difference T_old(∪) - T_new + aggregation")
+    show(fig8_difference_old_new(dblp, [["gender"], ["publications"]]))
+    print()
+    show(fig8_difference_old_new(movielens, [["gender"], ["rating"]],
+                                 distinct_modes=(True,)))
+
+    banner("Figure 9 — difference T_new - T_old(∪) + aggregation")
+    show(fig9_difference_new_old(dblp, [["gender"], ["publications"]]))
+    print()
+    show(fig9_difference_new_old(movielens, [["gender"], ["rating"]],
+                                 distinct_modes=(True,)))
+
+    banner("Figure 10 — speedup of materialized union(ALL)")
+    show(fig10_materialized_union_speedup(
+        dblp, [["gender"], ["publications"]], repeats=3
+    ))
+
+    banner("Figure 11 — speedup of attribute roll-up per time point")
+    show(fig11_attribute_rollup_speedup(
+        dblp, ["gender", "publications"], [["gender"], ["publications"]],
+        repeats=3,
+    ))
+    print()
+    show(fig11_attribute_rollup_speedup(
+        movielens,
+        ["gender", "age", "occupation", "rating"],
+        [["gender"], ["rating"], ["gender", "age"],
+         ["gender", "age", "rating"]],
+        repeats=3,
+    ))
+
+    banner("Figure 12 — evolution of high-activity DBLP authors (gender)")
+    years = dblp.timeline.labels
+    print(evolution_report(dblp, years[:10], [years[10]], ["gender"],
+                           min_publications=4).text)
+    print()
+    print(evolution_report(dblp, years[10:20], [years[20]], ["gender"],
+                           min_publications=4).text)
+
+    banner("Figure 13 — MovieLens exploration (female-female co-ratings)")
+    _exploration_block(movielens)
+
+    banner("Figure 14 — DBLP exploration (female-female collaborations)")
+    _exploration_block(dblp)
+
+    print(f"\nTotal wall time: {time.time() - started:.1f}s")
+
+
+def _exploration_block(graph) -> None:
+    w_st = suggest_threshold(graph, EventType.STABILITY, "max",
+                             attributes=["gender"], key=FF)
+    print(exploration_report(
+        graph, EventType.STABILITY, Goal.MAXIMAL, ExtendSide.NEW,
+        sorted(set(threshold_ladder(w_st, (0.05, 0.5, 1.0)))),
+        attributes=["gender"], key=FF,
+        title=f"(a) stability, maximal pairs, w_th={w_st}",
+    ).text)
+    print()
+    w_gr = suggest_threshold(graph, EventType.GROWTH, "max",
+                             attributes=["gender"], key=FF)
+    print(exploration_report(
+        graph, EventType.GROWTH, Goal.MINIMAL, ExtendSide.NEW,
+        sorted(set(threshold_ladder(w_gr, (0.1, 0.5, 1.0)))),
+        attributes=["gender"], key=FF,
+        title=f"(b) growth, minimal pairs, w_th={w_gr}",
+    ).text)
+    print()
+    w_sh = suggest_threshold(graph, EventType.SHRINKAGE, "min",
+                             attributes=["gender"], key=FF)
+    print(exploration_report(
+        graph, EventType.SHRINKAGE, Goal.MINIMAL, ExtendSide.OLD,
+        sorted(set(threshold_ladder(w_sh, (1.0, 2.0, 5.0)))),
+        attributes=["gender"], key=FF,
+        title=f"(c) shrinkage, minimal pairs, w_th={w_sh}",
+    ).text)
+
+
+if __name__ == "__main__":
+    main(float(sys.argv[1]) if len(sys.argv) > 1 else 0.1)

@@ -1,0 +1,6 @@
+"""Setup shim: lets `pip install -e .` work on minimal environments
+(no `wheel` package) via the legacy editable-install code path."""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,55 @@
+"""GraphTempo — an aggregation framework for evolving graphs.
+
+A from-scratch reproduction of the EDBT 2023 paper by Tsoukanara,
+Koloniari and Pitoura.  The public API re-exports the model layer
+(:mod:`repro.core`), exploration (:mod:`repro.exploration`), partial
+materialization (:mod:`repro.materialize`) and datasets
+(:mod:`repro.datasets`).
+"""
+
+from .core import (
+    AggregateGraph,
+    EvolutionAggregate,
+    EvolutionGraph,
+    EvolutionWeights,
+    GraphIntegrityError,
+    Interval,
+    TemporalGraph,
+    TemporalGraphBuilder,
+    Timeline,
+    aggregate,
+    aggregate_evolution,
+    attribute_predicate,
+    difference,
+    evolution,
+    filter_appearances,
+    intersection,
+    project,
+    union,
+)
+from .session import GraphTempoSession
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "TemporalGraph",
+    "TemporalGraphBuilder",
+    "GraphIntegrityError",
+    "Interval",
+    "Timeline",
+    "project",
+    "union",
+    "intersection",
+    "difference",
+    "aggregate",
+    "AggregateGraph",
+    "evolution",
+    "EvolutionGraph",
+    "EvolutionAggregate",
+    "EvolutionWeights",
+    "aggregate_evolution",
+    "filter_appearances",
+    "attribute_predicate",
+    "GraphTempoSession",
+    "__version__",
+]

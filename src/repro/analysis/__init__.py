@@ -1,0 +1,33 @@
+"""Qualitative analyses: dataset tables, evolution and exploration reports
+(Section 5.2)."""
+
+from .metrics import densification, homophily, stability_ratio, turnover
+from .timeseries import (
+    EventSeries,
+    event_series,
+    largest_shift,
+    zscore_anomalies,
+)
+from .reports import (
+    EvolutionReport,
+    ExplorationReport,
+    dataset_report,
+    evolution_report,
+    exploration_report,
+)
+
+__all__ = [
+    "dataset_report",
+    "evolution_report",
+    "EvolutionReport",
+    "exploration_report",
+    "ExplorationReport",
+    "homophily",
+    "turnover",
+    "stability_ratio",
+    "densification",
+    "EventSeries",
+    "event_series",
+    "largest_shift",
+    "zscore_anomalies",
+]

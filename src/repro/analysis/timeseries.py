@@ -1,0 +1,105 @@
+"""Event time series: evolution events as a signal over the timeline.
+
+The exploration strategies answer "*which interval pairs* have ≥ k
+events"; the dual view treats the per-consecutive-pair event counts as a
+time series and asks *where the signal moves* — the first instinct of an
+analyst eyeballing Figures 13/14.  This module builds those series and
+provides two simple detectors:
+
+* :func:`largest_shift` — the step with the biggest absolute change
+  (e.g. MovieLens's August growth spike);
+* :func:`zscore_anomalies` — steps deviating more than ``threshold``
+  standard deviations from the series mean.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Hashable, Sequence
+from dataclasses import dataclass
+from typing import Any
+
+from ..bench.reporting import format_table
+from ..core import TemporalGraph
+from ..exploration import EntityKind, EventType, consecutive_event_counts
+
+__all__ = ["EventSeries", "event_series", "largest_shift", "zscore_anomalies"]
+
+
+@dataclass(frozen=True)
+class EventSeries:
+    """Per-consecutive-pair event counts with their step labels."""
+
+    event: EventType
+    entity: EntityKind
+    steps: tuple[tuple[Hashable, Hashable], ...]
+    counts: tuple[int, ...]
+
+    def __len__(self) -> int:
+        return len(self.counts)
+
+    def to_table(self) -> str:
+        rows = [
+            (f"{old} -> {new}", count)
+            for (old, new), count in zip(self.steps, self.counts)
+        ]
+        return format_table(["step", f"{self.event} events"], rows)
+
+
+def event_series(
+    graph: TemporalGraph,
+    event: EventType,
+    entity: EntityKind = EntityKind.EDGES,
+    attributes: Sequence[str] = (),
+    key: Any = None,
+) -> EventSeries:
+    """The event-count series over consecutive time-point pairs."""
+    counts = consecutive_event_counts(
+        graph, event, entity=entity, attributes=attributes, key=key
+    )
+    labels = graph.timeline.labels
+    steps = tuple(
+        (labels[i], labels[i + 1]) for i in range(len(labels) - 1)
+    )
+    return EventSeries(event, entity, steps, tuple(counts))
+
+
+def largest_shift(series: EventSeries) -> tuple[int, int]:
+    """``(step index, signed delta)`` of the biggest count change.
+
+    The index refers to the *later* of the two adjacent steps — e.g.
+    index 2 means the change from step 1 to step 2.  Requires at least
+    two steps.
+    """
+    if len(series) < 2:
+        raise ValueError("a shift needs at least two steps")
+    best_index, best_delta = 1, series.counts[1] - series.counts[0]
+    for i in range(2, len(series)):
+        delta = series.counts[i] - series.counts[i - 1]
+        if abs(delta) > abs(best_delta):
+            best_index, best_delta = i, delta
+    return best_index, best_delta
+
+
+def zscore_anomalies(
+    series: EventSeries, threshold: float = 2.0
+) -> list[tuple[int, float]]:
+    """Steps whose count deviates more than ``threshold`` standard
+    deviations from the series mean, as ``(index, z-score)`` pairs.
+
+    A constant series has no anomalies (zero variance).
+    """
+    if threshold <= 0:
+        raise ValueError("threshold must be positive")
+    n = len(series)
+    if n == 0:
+        return []
+    mean = sum(series.counts) / n
+    variance = sum((c - mean) ** 2 for c in series.counts) / n
+    if variance == 0:
+        return []
+    std = variance ** 0.5
+    return [
+        (i, (count - mean) / std)
+        for i, count in enumerate(series.counts)
+        if abs(count - mean) / std > threshold
+    ]

@@ -1,0 +1,104 @@
+"""Text rendering of experiment series: tables and ASCII charts.
+
+Every figure of the paper's evaluation is a set of series (time or
+speedup against time points / interval lengths).  The harness renders
+them as aligned tables plus a compact ASCII chart, so a terminal run of
+the CLI or an example reproduces the figure's *shape* at a glance.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Mapping, Sequence
+from typing import Any
+
+__all__ = ["format_table", "ascii_chart", "format_series"]
+
+
+def format_table(
+    headers: Sequence[str], rows: Sequence[Sequence[Any]]
+) -> str:
+    """Render rows as an aligned, pipe-separated table."""
+    text_rows = [[_fmt(value) for value in row] for row in rows]
+    widths = [
+        max([len(str(h))] + [len(row[i]) for row in text_rows])
+        for i, h in enumerate(headers)
+    ]
+    lines = [
+        " | ".join(str(h).ljust(w) for h, w in zip(headers, widths)),
+        "-+-".join("-" * w for w in widths),
+    ]
+    for row in text_rows:
+        lines.append(" | ".join(cell.ljust(w) for cell, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def _fmt(value: Any) -> str:
+    if isinstance(value, float):
+        return f"{value:.4g}"
+    return str(value)
+
+
+def ascii_chart(
+    series: Mapping[str, Sequence[float]],
+    x_labels: Sequence[Any],
+    height: int = 10,
+    title: str = "",
+) -> str:
+    """A compact multi-series ASCII line chart.
+
+    Each series gets a distinct mark; values are scaled to a shared
+    y-axis.  Intended for eyeballing figure shapes in the terminal, not
+    publication graphics.
+    """
+    marks = "*o+x#@%&"
+    all_values = [v for values in series.values() for v in values]
+    if not all_values:
+        return title or "(no data)"
+    top = max(all_values)
+    bottom = min(0.0, min(all_values))
+    span = (top - bottom) or 1.0
+    width = len(x_labels)
+    grid = [[" "] * width for _ in range(height)]
+    for mark, (name, values) in zip(marks, series.items()):
+        for x, value in enumerate(values[:width]):
+            y = int((value - bottom) / span * (height - 1))
+            row = height - 1 - y
+            grid[row][x] = mark
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(f"{top:10.3g} ┤" + "".join(grid[0]))
+    for row in grid[1:-1]:
+        lines.append(" " * 10 + " │" + "".join(row))
+    if height > 1:
+        lines.append(f"{bottom:10.3g} ┤" + "".join(grid[-1]))
+    lines.append(
+        " " * 12 + "".join("^" if i % max(1, width // 8) == 0 else " " for i in range(width))
+    )
+    legend = "   ".join(
+        f"{mark}={name}" for mark, name in zip(marks, series.keys())
+    )
+    lines.append(" " * 12 + f"x: {x_labels[0]} .. {x_labels[-1]}   {legend}")
+    return "\n".join(lines)
+
+
+def format_series(
+    series: Mapping[str, Sequence[float]],
+    x_labels: Sequence[Any],
+    x_name: str = "x",
+    value_name: str = "time (s)",
+    title: str = "",
+    chart: bool = True,
+) -> str:
+    """Table + optional chart for a family of series."""
+    headers = [x_name] + [f"{name} {value_name}" for name in series]
+    rows = []
+    for i, x in enumerate(x_labels):
+        rows.append([x] + [values[i] if i < len(values) else "" for values in series.values()])
+    parts = []
+    if title:
+        parts.append(title)
+    parts.append(format_table(headers, rows))
+    if chart:
+        parts.append(ascii_chart(series, x_labels))
+    return "\n\n".join(parts)

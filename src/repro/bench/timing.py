@@ -1,0 +1,59 @@
+"""Small timing utilities shared by the benchmark harness and the CLI.
+
+pytest-benchmark handles the statistically careful measurements; these
+helpers cover the places where the paper's figures need *relative*
+numbers computed inside one process — e.g. the speedup figures (10/11),
+which divide a from-scratch time by a materialized-derivation time.
+"""
+
+from __future__ import annotations
+
+import time
+from collections.abc import Callable
+from dataclasses import dataclass
+from typing import Any
+
+__all__ = ["Measurement", "measure", "speedup"]
+
+
+@dataclass(frozen=True)
+class Measurement:
+    """Wall-clock result of repeated calls to one function."""
+
+    best: float
+    mean: float
+    repeats: int
+    result: Any
+
+    def __str__(self) -> str:
+        return f"{self.best * 1000:.2f} ms (best of {self.repeats})"
+
+
+def measure(fn: Callable[[], Any], repeats: int = 3) -> Measurement:
+    """Call ``fn`` ``repeats`` times, keeping best and mean wall time.
+
+    The function's last return value is kept so correctness checks can
+    piggyback on the timed computation.
+    """
+    if repeats < 1:
+        raise ValueError("repeats must be at least 1")
+    durations = []
+    result: Any = None
+    for _ in range(repeats):
+        start = time.perf_counter()
+        result = fn()
+        durations.append(time.perf_counter() - start)
+    return Measurement(
+        best=min(durations),
+        mean=sum(durations) / len(durations),
+        repeats=repeats,
+        result=result,
+    )
+
+
+def speedup(baseline: Measurement, optimized: Measurement) -> float:
+    """``baseline / optimized`` on best times — the paper's speedup metric
+    (Figures 10 and 11)."""
+    if optimized.best <= 0:
+        return float("inf")
+    return baseline.best / optimized.best

@@ -1,0 +1,344 @@
+"""Attribute aggregation of temporal graphs (Definition 2.6, Algorithm 2).
+
+Aggregation groups nodes by the values of one or more attributes and
+builds weighted aggregate nodes/edges with COUNT weights.  Two variants
+exist (Section 2.2):
+
+* **distinct** (``DIST``) — every appearance of an attribute tuple *on the
+  same node* counts once; duplicates are removed before counting
+  (Algorithm 2's ``deduplicate`` steps);
+* **non-distinct** (``ALL``) — every appearance at every time point
+  counts.
+
+When every aggregation attribute is static the expensive unpivot /
+deduplicate pipeline is unnecessary, and the implementation switches to
+the fast path of Section 4.2 (direct grouping; for ALL, presence-column
+counts are summed instead of counting long-format rows).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Hashable, Iterable, Mapping, Sequence
+from dataclasses import dataclass
+from typing import Any
+
+from ..frames import Table
+from .graph import TemporalGraph
+from .intervals import TimeSet
+
+__all__ = ["AggregateGraph", "aggregate", "AttributeTuple", "EdgeKey"]
+
+#: One aggregate node: the tuple of attribute values that defines it.
+AttributeTuple = tuple[Any, ...]
+#: One aggregate edge: source tuple -> target tuple.
+EdgeKey = tuple[AttributeTuple, AttributeTuple]
+
+
+@dataclass(frozen=True)
+class AggregateGraph:
+    """A weighted aggregate graph ``G'(V', E', W_V', W_E', A')``.
+
+    ``node_weights`` maps each distinct attribute tuple to its COUNT
+    weight; ``edge_weights`` maps ``(source tuple, target tuple)`` pairs.
+    ``distinct`` records which variant produced the weights, because only
+    non-distinct aggregates may be summed across time (T-distributivity,
+    Section 4.3).
+    """
+
+    attributes: tuple[str, ...]
+    node_weights: Mapping[AttributeTuple, int]
+    edge_weights: Mapping[EdgeKey, int]
+    distinct: bool = True
+
+    # ------------------------------------------------------------------
+    # Reading weights
+    # ------------------------------------------------------------------
+
+    @property
+    def n_aggregate_nodes(self) -> int:
+        return len(self.node_weights)
+
+    @property
+    def n_aggregate_edges(self) -> int:
+        return len(self.edge_weights)
+
+    def node_weight(self, key: Sequence[Any]) -> int:
+        """Weight of one aggregate node (0 when the tuple never occurs)."""
+        return self.node_weights.get(tuple(key), 0)
+
+    def edge_weight(self, source: Sequence[Any], target: Sequence[Any]) -> int:
+        """Weight of one aggregate edge (0 when the pair never occurs)."""
+        return self.edge_weights.get((tuple(source), tuple(target)), 0)
+
+    def total_node_weight(self) -> int:
+        return sum(self.node_weights.values())
+
+    def total_edge_weight(self) -> int:
+        return sum(self.edge_weights.values())
+
+    # ------------------------------------------------------------------
+    # Derivation without the base graph (Section 4.3)
+    # ------------------------------------------------------------------
+
+    def rollup(self, attributes: Sequence[str]) -> "AggregateGraph":
+        """Aggregate on a subset of this graph's attributes.
+
+        COUNT is D-distributive w.r.t. top-down aggregation: grouping this
+        graph's entities by the projected tuples and summing weights gives
+        the aggregate on the attribute subset without touching the
+        original temporal graph.  ``attributes`` must be a subset of this
+        aggregate's attributes (any order; output tuples follow the
+        requested order).
+        """
+        positions = []
+        for name in attributes:
+            try:
+                positions.append(self.attributes.index(name))
+            except ValueError:
+                raise KeyError(
+                    f"attribute {name!r} is not part of this aggregate "
+                    f"({self.attributes!r})"
+                ) from None
+        node_weights: dict[AttributeTuple, int] = {}
+        for key, weight in self.node_weights.items():
+            projected = tuple(key[p] for p in positions)
+            node_weights[projected] = node_weights.get(projected, 0) + weight
+        edge_weights: dict[EdgeKey, int] = {}
+        for (source, target), weight in self.edge_weights.items():
+            projected = (
+                tuple(source[p] for p in positions),
+                tuple(target[p] for p in positions),
+            )
+            edge_weights[projected] = edge_weights.get(projected, 0) + weight
+        return AggregateGraph(
+            tuple(attributes), node_weights, edge_weights, distinct=self.distinct
+        )
+
+    def combine(self, other: "AggregateGraph") -> "AggregateGraph":
+        """Pointwise weight sum — the T-distributive roll-up of Section 4.3.
+
+        Valid only for non-distinct aggregates over the same attributes:
+        summing per-time-point ALL aggregates yields the ALL aggregate of
+        the union of the time points.  Distinct aggregates are rejected
+        because distinct nodes cannot be identified across summands.
+        """
+        if self.attributes != other.attributes:
+            raise ValueError(
+                f"cannot combine aggregates on {self.attributes!r} and "
+                f"{other.attributes!r}"
+            )
+        if self.distinct or other.distinct:
+            raise ValueError(
+                "distinct aggregates are not T-distributive; "
+                "recompute from the temporal graph instead"
+            )
+        node_weights = dict(self.node_weights)
+        for key, weight in other.node_weights.items():
+            node_weights[key] = node_weights.get(key, 0) + weight
+        edge_weights = dict(self.edge_weights)
+        for key, weight in other.edge_weights.items():
+            edge_weights[key] = edge_weights.get(key, 0) + weight
+        return AggregateGraph(self.attributes, node_weights, edge_weights, distinct=False)
+
+    def __add__(self, other: "AggregateGraph") -> "AggregateGraph":
+        return self.combine(other)
+
+    # ------------------------------------------------------------------
+    # Presentation
+    # ------------------------------------------------------------------
+
+    def to_tables(self) -> tuple[Table, Table]:
+        """``(nodes, edges)`` tables sorted by descending weight."""
+        nodes = Table(tuple(self.attributes) + ("weight",))
+        for key, weight in sorted(
+            self.node_weights.items(), key=lambda item: (-item[1], str(item[0]))
+        ):
+            nodes.append(key + (weight,))
+        edges = Table(("source", "target", "weight"))
+        for (source, target), weight in sorted(
+            self.edge_weights.items(), key=lambda item: (-item[1], str(item[0]))
+        ):
+            edges.append((source, target, weight))
+        return nodes, edges
+
+    def __repr__(self) -> str:
+        mode = "DIST" if self.distinct else "ALL"
+        return (
+            f"AggregateGraph({mode} on {self.attributes!r}: "
+            f"{self.n_aggregate_nodes} nodes, {self.n_aggregate_edges} edges)"
+        )
+
+
+def _split_attributes(
+    graph: TemporalGraph, attributes: Sequence[str]
+) -> tuple[list[str], list[str]]:
+    """Partition into (static, varying), validating names."""
+    static, varying = [], []
+    for name in attributes:
+        if graph.is_static(name):
+            static.append(name)
+        else:
+            varying.append(name)
+    return static, varying
+
+
+def _node_tuple_table(
+    graph: TemporalGraph,
+    attributes: Sequence[str],
+    times: TimeSet,
+) -> Table:
+    """The long table of ``(node, t, attribute tuple)`` appearances.
+
+    One row per (node, time point) where the node is present, carrying the
+    node's attribute tuple at that time — the merged, unpivoted ``A'`` of
+    Algorithm 2 (before any deduplication).
+    """
+    static_names, varying_names = _split_attributes(graph, attributes)
+    time_positions = [graph.timeline.index_of(t) for t in times]
+    static_positions = {
+        name: graph.static_attrs.col_position(name) for name in static_names
+    }
+    rows: list[tuple[Any, ...]] = []
+    presence = graph.node_presence.values
+    varying_values = {
+        name: graph.varying_attrs[name].values for name in varying_names
+    }
+    static_values = graph.static_attrs.values
+    for row_idx, node in enumerate(graph.node_presence.row_labels):
+        static_part = {
+            name: static_values[row_idx, pos]
+            for name, pos in static_positions.items()
+        }
+        for t, t_pos in zip(times, time_positions):
+            if not presence[row_idx, t_pos]:
+                continue
+            values = tuple(
+                static_part[name]
+                if name in static_part
+                else varying_values[name][row_idx, t_pos]
+                for name in attributes
+            )
+            rows.append((node, t, values))
+    return Table(("id", "t", "tuple"), rows)
+
+
+def _aggregate_general(
+    graph: TemporalGraph,
+    attributes: Sequence[str],
+    times: TimeSet,
+    distinct: bool,
+) -> AggregateGraph:
+    """Algorithm 2: the general path used when a time-varying attribute
+    participates (also correct, just slower, for static-only input)."""
+    node_table = _node_tuple_table(graph, attributes, times)
+    lookup: dict[tuple[Any, Any], AttributeTuple] = {
+        (node, t): values for node, t, values in node_table.rows
+    }
+    if distinct:
+        node_table = node_table.deduplicate(["id", "tuple"])
+    node_weights = {
+        key[0]: count for key, count in node_table.groupby_count(["tuple"]).items()
+    }
+
+    edge_rows: list[tuple[Any, ...]] = []
+    edge_presence = graph.edge_presence.values
+    time_positions = [graph.timeline.index_of(t) for t in times]
+    for row_idx, edge in enumerate(graph.edge_presence.row_labels):
+        u, v = edge  # type: ignore[misc]
+        for t, t_pos in zip(times, time_positions):
+            if not edge_presence[row_idx, t_pos]:
+                continue
+            source = lookup.get((u, t))
+            target = lookup.get((v, t))
+            if source is None or target is None:
+                continue  # endpoint absent at t; cannot happen on valid graphs
+            edge_rows.append((edge, source, target))
+    edge_table = Table(("edge", "source", "target"), edge_rows)
+    if distinct:
+        edge_table = edge_table.deduplicate(["edge", "source", "target"])
+    edge_weights = {
+        (key[0], key[1]): count
+        for key, count in edge_table.groupby_count(["source", "target"]).items()
+    }
+    return AggregateGraph(tuple(attributes), node_weights, edge_weights, distinct=distinct)
+
+
+def _aggregate_static_fast(
+    graph: TemporalGraph,
+    attributes: Sequence[str],
+    times: TimeSet,
+    distinct: bool,
+) -> AggregateGraph:
+    """Section 4.2's optimization for static-only attribute lists.
+
+    No unpivoting and no deduplication: a node has one tuple regardless of
+    time.  DIST counts qualifying nodes/edges once; ALL weights each by
+    its number of presence columns inside ``times`` and sums.
+    """
+    positions = [graph.static_attrs.col_position(name) for name in attributes]
+    static_values = graph.static_attrs.values
+    node_tuples: dict[Hashable, AttributeTuple] = {
+        node: tuple(static_values[i, p] for p in positions)
+        for i, node in enumerate(graph.node_presence.row_labels)
+    }
+    node_counts = graph.node_presence.count_nonzero_by_row(times)
+    node_weights: dict[AttributeTuple, int] = {}
+    for node, appearances in node_counts.items():
+        if appearances == 0:
+            continue
+        contribution = 1 if distinct else appearances
+        key = node_tuples[node]
+        node_weights[key] = node_weights.get(key, 0) + contribution
+
+    edge_counts = graph.edge_presence.count_nonzero_by_row(times)
+    edge_weights: dict[EdgeKey, int] = {}
+    for edge, appearances in edge_counts.items():
+        if appearances == 0:
+            continue
+        u, v = edge  # type: ignore[misc]
+        contribution = 1 if distinct else appearances
+        key = (node_tuples[u], node_tuples[v])
+        edge_weights[key] = edge_weights.get(key, 0) + contribution
+    return AggregateGraph(tuple(attributes), node_weights, edge_weights, distinct=distinct)
+
+
+def aggregate(
+    graph: TemporalGraph,
+    attributes: Sequence[str],
+    distinct: bool = True,
+    times: Iterable[Hashable] | None = None,
+) -> AggregateGraph:
+    """Aggregate a temporal graph on the given attributes (Definition 2.6).
+
+    Parameters
+    ----------
+    graph:
+        The temporal graph (typically the output of a temporal operator).
+    attributes:
+        Attribute names to group by, static and/or time-varying, in the
+        order the output tuples should carry them.
+    distinct:
+        ``True`` for DIST semantics, ``False`` for ALL (Section 2.2).
+    times:
+        Time points to aggregate over; defaults to the graph's whole
+        timeline (which, for operator outputs, is the operator's interval).
+
+    Returns
+    -------
+    AggregateGraph
+        COUNT-weighted aggregate nodes and edges.
+    """
+    if not attributes:
+        raise ValueError("aggregation needs at least one attribute")
+    if len(set(attributes)) != len(attributes):
+        raise ValueError(f"duplicate aggregation attributes: {attributes!r}")
+    if times is None:
+        window: TimeSet = graph.timeline.labels
+    else:
+        window = tuple(times)
+        for t in window:
+            graph.timeline.index_of(t)
+    _, varying = _split_attributes(graph, attributes)
+    if varying:
+        return _aggregate_general(graph, attributes, window, distinct)
+    return _aggregate_static_fast(graph, attributes, window, distinct)

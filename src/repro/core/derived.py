@@ -1,0 +1,126 @@
+"""Derived time-varying attributes computed from graph structure.
+
+Graph-OLAP systems distinguish *informational* dimensions (stored
+attributes) from *topological* ones (structure-derived, e.g. degree) —
+the paper's related work (Graph OLAP, GraphCube) aggregates over both.
+GraphTempo's aggregation is attribute-based, so topological dimensions
+are obtained by *materializing structure as a time-varying attribute*:
+:func:`with_degree_attribute` attaches each node's per-time degree (or a
+bucketed class of it), after which every operator, aggregation and
+exploration facility applies unchanged.
+
+:func:`with_derived_attribute` is the general hook: any callable from
+(graph, node, time) to a value becomes an attribute.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable, Hashable, Sequence
+from typing import Any
+
+import numpy as np
+
+from ..frames import LabeledFrame
+from .graph import TemporalGraph
+
+__all__ = ["with_derived_attribute", "with_degree_attribute", "degree_class"]
+
+
+def with_derived_attribute(
+    graph: TemporalGraph,
+    name: str,
+    compute: Callable[[TemporalGraph, Hashable, Hashable], Any],
+) -> TemporalGraph:
+    """A new graph carrying one extra time-varying attribute.
+
+    ``compute(graph, node, time)`` is evaluated at every (node, time)
+    where the node is present; absent cells stay ``None``.  The name
+    must not collide with an existing attribute.
+    """
+    if name in set(graph.attribute_names):
+        raise ValueError(f"attribute {name!r} already exists")
+    values = np.full((graph.n_nodes, len(graph.timeline)), None, dtype=object)
+    presence = graph.node_presence.values
+    for row, node in enumerate(graph.node_presence.row_labels):
+        for col, time in enumerate(graph.timeline.labels):
+            if presence[row, col]:
+                values[row, col] = compute(graph, node, time)
+    varying = dict(graph.varying_attrs)
+    varying[name] = LabeledFrame(
+        graph.node_presence.row_labels, graph.timeline.labels, values
+    )
+    return TemporalGraph(
+        timeline=graph.timeline,
+        node_presence=graph.node_presence,
+        edge_presence=graph.edge_presence,
+        static_attrs=graph.static_attrs,
+        varying_attrs=varying,
+        validate=False,
+        edge_attrs=graph.edge_attrs,
+    )
+
+
+def degree_class(degree: int, boundaries: Sequence[int] = (1, 3, 10)) -> str:
+    """Bucket a degree into a label: "0", "1-2", "3-9", "10+" by default.
+
+    ``boundaries`` are the (sorted, positive) lower edges of each bucket
+    after the zero bucket.
+    """
+    if degree < 0:
+        raise ValueError(f"degree cannot be negative: {degree}")
+    if degree == 0:
+        return "0"
+    previous = None
+    for boundary in boundaries:
+        if degree < boundary:
+            assert previous is not None
+            return f"{previous}-{boundary - 1}"
+        previous = boundary
+    return f"{boundaries[-1]}+"
+
+
+def with_degree_attribute(
+    graph: TemporalGraph,
+    name: str = "degree",
+    direction: str = "total",
+    classes: Sequence[int] | None = None,
+) -> TemporalGraph:
+    """Attach per-time node degree (or degree class) as an attribute.
+
+    ``direction`` is ``"out"``, ``"in"`` or ``"total"``.  With
+    ``classes`` given, the value is the :func:`degree_class` bucket
+    label instead of the raw integer — the practical choice for
+    aggregation, keeping the attribute domain small.
+    """
+    if direction not in ("out", "in", "total"):
+        raise ValueError(
+            f"direction must be 'out', 'in' or 'total', got {direction!r}"
+        )
+    n_times = len(graph.timeline)
+    node_pos = {n: i for i, n in enumerate(graph.node_presence.row_labels)}
+    out_deg = np.zeros((graph.n_nodes, n_times), dtype=np.int64)
+    in_deg = np.zeros((graph.n_nodes, n_times), dtype=np.int64)
+    edge_presence = graph.edge_presence.values.astype(bool)
+    for row, (u, v) in enumerate(graph.edge_presence.row_labels):  # type: ignore[misc]
+        out_deg[node_pos[u]] += edge_presence[row]
+        in_deg[node_pos[v]] += edge_presence[row]
+    if direction == "out":
+        degrees = out_deg
+    elif direction == "in":
+        degrees = in_deg
+    else:
+        degrees = out_deg + in_deg
+
+    if classes is None:
+        def compute(g: TemporalGraph, node: Hashable, time: Hashable) -> Any:
+            return int(
+                degrees[node_pos[node], g.timeline.index_of(time)]
+            )
+    else:
+        bucket_edges = tuple(classes)
+
+        def compute(g: TemporalGraph, node: Hashable, time: Hashable) -> Any:
+            raw = int(degrees[node_pos[node], g.timeline.index_of(time)])
+            return degree_class(raw, bucket_edges)
+
+    return with_derived_attribute(graph, name, compute)

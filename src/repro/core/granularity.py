@@ -1,0 +1,238 @@
+"""Time hierarchies: viewing a temporal graph at coarser granularity.
+
+The paper positions GraphTempo against systems that "support different
+time granularities" (Section 1) and defines exactly the two semantics a
+zoom-out needs (Section 3.1): a coarse unit covering several base time
+points contains an entity under **union** semantics if the entity exists
+at *any* covered point, and under **intersection** semantics if it
+exists at *every* covered point.
+
+:class:`TimeHierarchy` names a partition of the base timeline into
+coarser units (years into decades, months into quarters);
+:func:`coarsen` materializes the coarser temporal graph, after which
+every operator, aggregation and exploration strategy in the library
+works at the new resolution unchanged.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Hashable, Mapping, Sequence
+
+import numpy as np
+
+from ..frames import LabeledFrame
+from .graph import TemporalGraph
+from .intervals import Timeline
+
+__all__ = ["TimeHierarchy", "coarsen"]
+
+
+class TimeHierarchy:
+    """An ordered partition of base time points into coarser units.
+
+    Parameters
+    ----------
+    units:
+        Mapping ``unit label -> sequence of base labels``, in coarse
+        timeline order.  Units must be non-empty, disjoint, and each
+        unit's base labels must be contiguous in the base timeline —
+        GraphTempo intervals are contiguous, and a gap inside a unit
+        would silently merge non-adjacent graphs.
+
+    Examples
+    --------
+    >>> hierarchy = TimeHierarchy({"2000s": range(2000, 2010),
+    ...                            "2010s": range(2010, 2020)})
+    >>> hierarchy.unit_of(2013)
+    '2010s'
+    """
+
+    def __init__(self, units: Mapping[Hashable, Sequence[Hashable]]) -> None:
+        self._units: dict[Hashable, tuple[Hashable, ...]] = {
+            label: tuple(members) for label, members in units.items()
+        }
+        if not self._units:
+            raise ValueError("a hierarchy needs at least one unit")
+        self._unit_of: dict[Hashable, Hashable] = {}
+        for label, members in self._units.items():
+            if not members:
+                raise ValueError(f"unit {label!r} has no base time points")
+            for member in members:
+                if member in self._unit_of:
+                    raise ValueError(
+                        f"base time point {member!r} belongs to two units"
+                    )
+                self._unit_of[member] = label
+
+    @classmethod
+    def regular(
+        cls,
+        base_labels: Sequence[Hashable],
+        width: int,
+        name: str = "{first}..{last}",
+    ) -> "TimeHierarchy":
+        """Fixed-width windows over a base timeline.
+
+        ``name`` formats each unit label from its ``first``/``last``
+        base labels (and ``index``).  The final window may be shorter.
+        """
+        if width < 1:
+            raise ValueError("window width must be at least 1")
+        units: dict[Hashable, tuple[Hashable, ...]] = {}
+        base = tuple(base_labels)
+        for index, start in enumerate(range(0, len(base), width)):
+            members = base[start : start + width]
+            label = name.format(first=members[0], last=members[-1], index=index)
+            units[label] = members
+        return cls(units)
+
+    @property
+    def unit_labels(self) -> tuple[Hashable, ...]:
+        return tuple(self._units)
+
+    def members(self, unit: Hashable) -> tuple[Hashable, ...]:
+        """Base labels covered by one unit."""
+        try:
+            return self._units[unit]
+        except KeyError:
+            raise KeyError(f"unknown unit: {unit!r}") from None
+
+    def unit_of(self, base_label: Hashable) -> Hashable:
+        """The unit containing a base time point."""
+        try:
+            return self._unit_of[base_label]
+        except KeyError:
+            raise KeyError(f"time point {base_label!r} is in no unit") from None
+
+    def covers(self, timeline: Timeline) -> bool:
+        """Whether every point of ``timeline`` belongs to some unit."""
+        return all(label in self._unit_of for label in timeline.labels)
+
+    def _validate_against(self, timeline: Timeline) -> None:
+        missing = [t for t in timeline.labels if t not in self._unit_of]
+        if missing:
+            raise ValueError(
+                f"hierarchy does not cover base time points {missing[:5]!r}"
+            )
+        order = []
+        for unit, members in self._units.items():
+            indices = [timeline.index_of(m) for m in members if m in timeline]
+            if not indices:
+                continue
+            if indices != list(range(indices[0], indices[0] + len(indices))):
+                raise ValueError(
+                    f"unit {unit!r} covers non-contiguous base time points"
+                )
+            order.append(indices[0])
+        if order != sorted(order):
+            raise ValueError("units are not in base timeline order")
+
+    def __len__(self) -> int:
+        return len(self._units)
+
+    def __repr__(self) -> str:
+        return f"TimeHierarchy({list(self._units)!r})"
+
+
+def coarsen(
+    graph: TemporalGraph,
+    hierarchy: TimeHierarchy,
+    semantics: str = "union",
+) -> TemporalGraph:
+    """View a temporal graph at the hierarchy's granularity.
+
+    ``semantics`` is ``"union"`` (entity present in a unit if present at
+    any covered point — the relaxed zoom-out) or ``"intersection"``
+    (present throughout the unit — the strict one).  Time-varying
+    attribute values at a unit take the *latest* covered value, a
+    deliberate, documented choice (aggregating attribute values is a
+    measure computation — use :func:`repro.core.aggregate_measure`).
+
+    Entities with no presence at the coarse level (possible under
+    intersection semantics) are dropped.
+    """
+    if semantics not in ("union", "intersection"):
+        raise ValueError(
+            f"semantics must be 'union' or 'intersection', got {semantics!r}"
+        )
+    hierarchy._validate_against(graph.timeline)
+    units = [
+        unit
+        for unit in hierarchy.unit_labels
+        if any(m in graph.timeline for m in hierarchy.members(unit))
+    ]
+    member_positions = {
+        unit: [
+            graph.timeline.index_of(m)
+            for m in hierarchy.members(unit)
+            if m in graph.timeline
+        ]
+        for unit in units
+    }
+
+    def reduce_presence(frame: LabeledFrame) -> np.ndarray:
+        values = frame.values.astype(bool)
+        columns = []
+        for unit in units:
+            block = values[:, member_positions[unit]]
+            if semantics == "union":
+                columns.append(block.any(axis=1))
+            else:
+                columns.append(block.all(axis=1))
+        return np.stack(columns, axis=1).astype(np.uint8)
+
+    node_values = reduce_presence(graph.node_presence)
+    edge_values = reduce_presence(graph.edge_presence)
+    # Intersection-coarsened edges may be "present" in a unit where a
+    # node is not (edge present at all points implies nodes present at
+    # all points, so in fact node presence dominates) — but with union
+    # semantics an edge unit-presence always implies node unit-presence
+    # too.  Both cases are consistent by construction.
+    node_keep = node_values.any(axis=1)
+    kept_nodes = tuple(
+        n for n, keep in zip(graph.node_presence.row_labels, node_keep) if keep
+    )
+    node_pos = {n: i for i, n in enumerate(graph.node_presence.row_labels)}
+    edge_keep = edge_values.any(axis=1)
+    kept_edges = tuple(
+        e
+        for e, keep in zip(graph.edge_presence.row_labels, edge_keep)
+        if keep and node_keep[node_pos[e[0]]] and node_keep[node_pos[e[1]]]  # type: ignore[index]
+    )
+    kept_node_rows = [node_pos[n] for n in kept_nodes]
+    edge_pos = {e: i for i, e in enumerate(graph.edge_presence.row_labels)}
+    kept_edge_rows = [edge_pos[e] for e in kept_edges]
+
+    varying: dict[str, LabeledFrame] = {}
+    for name, frame in graph.varying_attrs.items():
+        coarse = np.full((len(kept_nodes), len(units)), None, dtype=object)
+        base_values = frame.values
+        for out_row, node_row in enumerate(kept_node_rows):
+            for out_col, unit in enumerate(units):
+                if not node_values[node_row, out_col]:
+                    continue
+                # Latest covered value where the node exists.
+                for position in reversed(member_positions[unit]):
+                    value = base_values[node_row, position]
+                    if value is not None:
+                        coarse[out_row, out_col] = value
+                        break
+        varying[name] = LabeledFrame(kept_nodes, tuple(units), coarse)
+
+    return TemporalGraph(
+        timeline=Timeline(tuple(units)),
+        node_presence=LabeledFrame(
+            kept_nodes, tuple(units), node_values[kept_node_rows]
+        ),
+        edge_presence=LabeledFrame(
+            kept_edges, tuple(units), edge_values[kept_edge_rows]
+        ),
+        static_attrs=graph.static_attrs.select_rows(kept_nodes),
+        varying_attrs=varying,
+        validate=False,
+        edge_attrs=(
+            graph.edge_attrs.select_rows(kept_edges)
+            if graph.edge_attrs is not None
+            else None
+        ),
+    )

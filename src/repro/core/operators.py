@@ -1,0 +1,158 @@
+"""Temporal operators: project, union, intersection, difference.
+
+These implement Definitions 2.2-2.5 of the paper over the labeled-array
+storage of :class:`~repro.core.graph.TemporalGraph`, following the
+selection rules of Section 4.1:
+
+* **union** keeps a row if any presence cell over ``T1 | T2`` is 1;
+* **intersection** keeps a row if it is present at some point of ``T1``
+  *and* some point of ``T2``;
+* **difference** ``T1 - T2`` keeps an edge if present somewhere in ``T1``
+  and nowhere in ``T2``; a node qualifies if present in ``T1`` and either
+  absent throughout ``T2`` or incident to a kept edge (Definition 2.5).
+
+All operators return new :class:`TemporalGraph` instances whose timeline
+is the ordered union of the input time sets (for the difference: ``T1``),
+with every attribute array restricted consistently.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Hashable, Iterable
+
+import numpy as np
+
+from .graph import TemporalGraph
+from .intervals import TimeSet
+
+__all__ = [
+    "project",
+    "union",
+    "intersection",
+    "difference",
+    "ordered_times",
+]
+
+
+def ordered_times(
+    graph: TemporalGraph, *time_sets: Iterable[Hashable]
+) -> TimeSet:
+    """The union of the given time sets, ordered by the graph's timeline.
+
+    Validates every label against the timeline, so a typo'd time point
+    fails loudly instead of silently selecting nothing.
+    """
+    wanted = set()
+    for time_set in time_sets:
+        for label in time_set:
+            graph.timeline.index_of(label)
+            wanted.add(label)
+    return tuple(t for t in graph.timeline.labels if t in wanted)
+
+
+def _restrict_by_masks(
+    graph: TemporalGraph,
+    node_mask: np.ndarray,
+    edge_mask: np.ndarray,
+    times: TimeSet,
+) -> TemporalGraph:
+    nodes = [
+        n for n, keep in zip(graph.node_presence.row_labels, node_mask) if keep
+    ]
+    edges = [
+        e for e, keep in zip(graph.edge_presence.row_labels, edge_mask) if keep
+    ]
+    return graph.restricted(nodes, edges, times)
+
+
+def project(graph: TemporalGraph, times: Iterable[Hashable]) -> TemporalGraph:
+    """Time projection (Definition 2.2).
+
+    Keeps the nodes and edges that exist throughout ``times``
+    (``T1 ⊆ tau(u)``) and restricts every array to those columns.
+    """
+    window = ordered_times(graph, times)
+    if not window:
+        raise ValueError("cannot project onto an empty time set")
+    node_mask = graph.node_presence.all_mask(window)
+    edge_mask = graph.edge_presence.all_mask(window)
+    return _restrict_by_masks(graph, node_mask, edge_mask, window)
+
+
+def union(
+    graph: TemporalGraph,
+    t1: Iterable[Hashable],
+    t2: Iterable[Hashable] = (),
+) -> TemporalGraph:
+    """Union graph (Definition 2.3): entities existing at any instant of
+    ``T1`` or ``T2``.
+
+    ``t2`` may be empty, in which case this is the *window* over ``t1``
+    alone — the building block the union semi-lattice of Section 3.1 uses
+    to extend one side of an interval pair.
+    """
+    window = ordered_times(graph, t1, t2)
+    if not window:
+        raise ValueError("cannot take the union over an empty time set")
+    node_mask = graph.node_presence.any_mask(window)
+    edge_mask = graph.edge_presence.any_mask(window)
+    return _restrict_by_masks(graph, node_mask, edge_mask, window)
+
+
+def intersection(
+    graph: TemporalGraph,
+    t1: Iterable[Hashable],
+    t2: Iterable[Hashable],
+) -> TemporalGraph:
+    """Intersection graph (Definition 2.4): entities existing at some
+    instant of ``T1`` *and* some instant of ``T2``.
+
+    The result's timeline is ``T1 | T2`` and presence rows keep
+    ``tau(e) ∩ (T1 | T2)``, exactly as the definition prescribes.
+    """
+    first = ordered_times(graph, t1)
+    second = ordered_times(graph, t2)
+    if not first or not second:
+        raise ValueError("intersection requires two non-empty time sets")
+    window = ordered_times(graph, first, second)
+    node_mask = graph.node_presence.any_mask(first) & graph.node_presence.any_mask(second)
+    edge_mask = graph.edge_presence.any_mask(first) & graph.edge_presence.any_mask(second)
+    return _restrict_by_masks(graph, node_mask, edge_mask, window)
+
+
+def difference(
+    graph: TemporalGraph,
+    t1: Iterable[Hashable],
+    t2: Iterable[Hashable],
+) -> TemporalGraph:
+    """Difference graph ``T1 - T2`` (Definition 2.5).
+
+    Edges: present somewhere in ``T1`` and nowhere in ``T2`` (deleted, if
+    ``T1`` precedes ``T2``; new, in the ``T2 - T1`` orientation).  Nodes:
+    present somewhere in ``T1`` and either absent throughout ``T2`` or an
+    endpoint of a kept edge — the second disjunct keeps the result a
+    well-formed graph whose edges have both endpoints.
+
+    The result is defined on ``T1``: presence and attribute arrays keep
+    ``tau ∩ T1`` only (``tau_u-(u) = tau_u(u) ∩ T1``).
+    """
+    first = ordered_times(graph, t1)
+    second = ordered_times(graph, t2)
+    if not first:
+        raise ValueError("difference requires a non-empty left time set")
+    edge_mask = graph.edge_presence.any_mask(first) & graph.edge_presence.none_mask(second)
+    kept_endpoints: set[Hashable] = set()
+    for edge, keep in zip(graph.edge_presence.row_labels, edge_mask):
+        if keep:
+            u, v = edge  # type: ignore[misc]
+            kept_endpoints.add(u)
+            kept_endpoints.add(v)
+    endpoint_mask = np.fromiter(
+        (n in kept_endpoints for n in graph.node_presence.row_labels),
+        dtype=bool,
+        count=graph.n_nodes,
+    )
+    node_mask = graph.node_presence.any_mask(first) & (
+        graph.node_presence.none_mask(second) | endpoint_mask
+    )
+    return _restrict_by_masks(graph, node_mask, edge_mask, first)

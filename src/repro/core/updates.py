@@ -1,0 +1,149 @@
+"""Appending new time points to a temporal graph.
+
+Evolving graphs grow at the end of their timeline; re-generating the
+whole graph per tick would defeat the paper's materialization story.
+:func:`append_snapshot` extends a :class:`TemporalGraph` with one new
+time point — new nodes, returning nodes, their time-varying values, and
+the snapshot's edges — producing a new graph value (inputs are never
+mutated).  :class:`repro.materialize.IncrementalStore` builds on this to
+keep per-point aggregates and running union totals current as the graph
+grows.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Hashable, Iterable, Mapping
+from dataclasses import dataclass, field
+from typing import Any
+
+import numpy as np
+
+from ..frames import LabeledFrame
+from .graph import EdgeId, NodeId, TemporalGraph
+from .intervals import Timeline
+
+__all__ = ["SnapshotUpdate", "append_snapshot"]
+
+
+@dataclass(frozen=True)
+class SnapshotUpdate:
+    """One new time point's content.
+
+    Parameters
+    ----------
+    time:
+        The new time-point label; must not already be on the timeline.
+    nodes:
+        ``node id -> {varying attribute: value}`` for every node present
+        at the new time point (an empty dict for nodes of a graph
+        without time-varying attributes).
+    static:
+        Static attribute values for nodes appearing for the *first*
+        time; ignored for known nodes (static values cannot change).
+    edges:
+        Directed edges active at the new time point.  Both endpoints
+        must be present in ``nodes``.
+    edge_attrs:
+        Static edge-attribute values for edges appearing for the first
+        time (graphs without edge attributes ignore this).
+    """
+
+    time: Hashable
+    nodes: Mapping[NodeId, Mapping[str, Any]]
+    static: Mapping[NodeId, Mapping[str, Any]] = field(default_factory=dict)
+    edges: Iterable[EdgeId] = ()
+    edge_attrs: Mapping[EdgeId, Mapping[str, Any]] = field(default_factory=dict)
+
+
+def append_snapshot(graph: TemporalGraph, update: SnapshotUpdate) -> TemporalGraph:
+    """A new graph whose timeline ends with the update's time point."""
+    if update.time in graph.timeline:
+        raise ValueError(f"time point {update.time!r} already exists")
+    new_times = graph.timeline.labels + (update.time,)
+
+    known_nodes = set(graph.node_presence.row_labels)
+    incoming = dict(update.nodes)
+    new_node_ids = [n for n in incoming if n not in known_nodes]
+    all_nodes = graph.node_presence.row_labels + tuple(new_node_ids)
+    node_pos = {n: i for i, n in enumerate(all_nodes)}
+
+    varying_names = graph.varying_attribute_names
+    for node, values in incoming.items():
+        unknown = set(values) - set(varying_names)
+        if unknown:
+            raise KeyError(
+                f"unknown time-varying attributes for {node!r}: {sorted(unknown)}"
+            )
+
+    edges = list(update.edges)
+    for u, v in edges:
+        if u not in incoming or v not in incoming:
+            raise ValueError(
+                f"edge {(u, v)!r} references a node absent from the snapshot"
+            )
+
+    node_values = np.zeros((len(all_nodes), len(new_times)), dtype=np.uint8)
+    node_values[: graph.n_nodes, :-1] = graph.node_presence.values
+    for node in incoming:
+        node_values[node_pos[node], -1] = 1
+    node_presence = LabeledFrame(all_nodes, new_times, node_values)
+
+    static_names = graph.static_attrs.col_labels
+    static_values = np.empty((len(all_nodes), len(static_names)), dtype=object)
+    static_values[: graph.n_nodes] = graph.static_attrs.values
+    for i, node in enumerate(new_node_ids):
+        provided = dict(update.static.get(node, {}))
+        unknown = set(provided) - {str(c) for c in static_names}
+        if unknown:
+            raise KeyError(
+                f"unknown static attributes for {node!r}: {sorted(unknown)}"
+            )
+        for col, name in enumerate(static_names):
+            static_values[graph.n_nodes + i, col] = provided.get(str(name))
+    static_attrs = LabeledFrame(all_nodes, static_names, static_values)
+
+    varying_attrs: dict[str, LabeledFrame] = {}
+    for name in varying_names:
+        values = np.full((len(all_nodes), len(new_times)), None, dtype=object)
+        values[: graph.n_nodes, :-1] = graph.varying_attrs[name].values
+        for node, node_values_map in incoming.items():
+            if name in node_values_map:
+                values[node_pos[node], -1] = node_values_map[name]
+        varying_attrs[name] = LabeledFrame(all_nodes, new_times, values)
+
+    known_edges = graph.edge_presence.row_labels
+    known_edge_set = set(known_edges)
+    new_edge_ids = [e for e in dict.fromkeys(edges) if e not in known_edge_set]
+    all_edges = known_edges + tuple(new_edge_ids)
+    edge_pos = {e: i for i, e in enumerate(all_edges)}
+    edge_values = np.zeros((len(all_edges), len(new_times)), dtype=np.uint8)
+    edge_values[: graph.n_edges, :-1] = graph.edge_presence.values
+    for edge in edges:
+        edge_values[edge_pos[edge], -1] = 1
+    edge_presence = LabeledFrame(all_edges, new_times, edge_values)
+
+    edge_attr_frame: LabeledFrame | None = None
+    if graph.edge_attrs is not None:
+        names = graph.edge_attrs.col_labels
+        attr_values = np.empty((len(all_edges), len(names)), dtype=object)
+        attr_values[: graph.n_edges] = graph.edge_attrs.values
+        for i, edge in enumerate(new_edge_ids):
+            provided = dict(update.edge_attrs.get(edge, {}))
+            unknown = set(provided) - {str(c) for c in names}
+            if unknown:
+                raise KeyError(
+                    f"unknown edge attributes for {edge!r}: {sorted(unknown)}"
+                )
+            for col, name in enumerate(names):
+                attr_values[graph.n_edges + i, col] = provided.get(str(name))
+        edge_attr_frame = LabeledFrame(all_edges, names, attr_values)
+
+    return TemporalGraph(
+        timeline=Timeline(new_times),
+        node_presence=node_presence,
+        edge_presence=edge_presence,
+        static_attrs=static_attrs,
+        varying_attrs=varying_attrs,
+        validate=False,
+        edge_attrs=edge_attr_frame,
+    )

@@ -1,0 +1,48 @@
+"""Datasets: the paper's running example plus synthetic stand-ins for
+the DBLP and MovieLens evaluation graphs (calibrated to Tables 3/4)."""
+
+from .contacts import ContactNetworkConfig, generate_contacts
+from .dblp import (
+    DBLP_EDGE_COUNTS,
+    DBLP_NODE_COUNTS,
+    DBLP_YEARS,
+    dblp_config,
+    generate_dblp,
+)
+from .example import paper_example
+from .io import load_graph, save_graph
+from .movielens import (
+    MOVIELENS_EDGE_COUNTS,
+    MOVIELENS_MONTHS,
+    MOVIELENS_NODE_COUNTS,
+    generate_movielens,
+    movielens_config,
+)
+from .synthetic import (
+    EvolvingGraphConfig,
+    StaticAttributeSpec,
+    VaryingAttributeSpec,
+    generate_evolving_graph,
+)
+
+__all__ = [
+    "paper_example",
+    "generate_contacts",
+    "ContactNetworkConfig",
+    "generate_dblp",
+    "dblp_config",
+    "DBLP_YEARS",
+    "DBLP_NODE_COUNTS",
+    "DBLP_EDGE_COUNTS",
+    "generate_movielens",
+    "movielens_config",
+    "MOVIELENS_MONTHS",
+    "MOVIELENS_NODE_COUNTS",
+    "MOVIELENS_EDGE_COUNTS",
+    "generate_evolving_graph",
+    "EvolvingGraphConfig",
+    "StaticAttributeSpec",
+    "VaryingAttributeSpec",
+    "save_graph",
+    "load_graph",
+]

@@ -1,0 +1,118 @@
+"""Saving and loading temporal graphs as directories of CSV files.
+
+Layout (mirroring the public GraphTempo repository's file-per-array
+datasets)::
+
+    <dir>/
+      nodes.csv          # presence matrix V
+      edges.csv          # presence matrix E (row ids "u|v")
+      static.csv         # static attribute array S
+      edge_static.csv    # static edge attributes (only when present)
+      attr_<name>.csv    # one file per time-varying attribute
+
+Node ids and time labels are persisted as strings; a loader-side parser
+pair restores their runtime types.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable, Hashable
+from pathlib import Path
+from typing import Any
+
+from ..core import TemporalGraph, Timeline
+from ..frames import LabeledFrame, read_frame_csv, write_frame_csv
+
+__all__ = ["save_graph", "load_graph"]
+
+_EDGE_SEP = "|"
+
+
+def _edge_to_str(edge: Hashable) -> str:
+    u, v = edge  # type: ignore[misc]
+    return f"{u}{_EDGE_SEP}{v}"
+
+
+def save_graph(graph: TemporalGraph, directory: str | Path) -> None:
+    """Persist a temporal graph into ``directory`` (created if missing)."""
+    directory = Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    write_frame_csv(graph.node_presence, directory / "nodes.csv")
+    edge_rows = {
+        _edge_to_str(edge): values
+        for edge, values in graph.edge_presence.iter_rows()
+    }
+    edge_frame = LabeledFrame.from_rows(edge_rows, graph.timeline.labels)
+    write_frame_csv(edge_frame, directory / "edges.csv")
+    write_frame_csv(graph.static_attrs, directory / "static.csv")
+    if graph.edge_attrs is not None:
+        edge_attr_rows = {
+            _edge_to_str(edge): values
+            for edge, values in graph.edge_attrs.iter_rows()
+        }
+        write_frame_csv(
+            LabeledFrame.from_rows(edge_attr_rows, graph.edge_attrs.col_labels),
+            directory / "edge_static.csv",
+        )
+    for name, frame in graph.varying_attrs.items():
+        write_frame_csv(frame, directory / f"attr_{name}.csv")
+
+
+def load_graph(
+    directory: str | Path,
+    node_parser: Callable[[str], Hashable] = str,
+    time_parser: Callable[[str], Hashable] = str,
+    value_parsers: dict[str, Callable[[str], Any]] | None = None,
+) -> TemporalGraph:
+    """Load a graph saved by :func:`save_graph`.
+
+    ``node_parser`` / ``time_parser`` restore node-id and time-label
+    types (e.g. ``int`` for synthetic ids and years); ``value_parsers``
+    maps each time-varying attribute name to its value parser (static
+    attribute values stay strings unless re-parsed by the caller).
+    """
+    directory = Path(directory)
+    value_parsers = value_parsers or {}
+    node_presence = read_frame_csv(
+        directory / "nodes.csv",
+        row_parser=node_parser,
+        col_parser=time_parser,
+        value_parser=int,
+    )
+    times = node_presence.col_labels
+
+    def edge_parser(raw: str) -> tuple[Hashable, Hashable]:
+        u, _, v = raw.partition(_EDGE_SEP)
+        return (node_parser(u), node_parser(v))
+
+    edge_presence = read_frame_csv(
+        directory / "edges.csv",
+        row_parser=edge_parser,
+        col_parser=time_parser,
+        value_parser=int,
+    )
+    static_attrs = read_frame_csv(
+        directory / "static.csv", row_parser=node_parser
+    )
+    edge_attrs: LabeledFrame | None = None
+    edge_static_path = directory / "edge_static.csv"
+    if edge_static_path.exists():
+        edge_attrs = read_frame_csv(edge_static_path, row_parser=edge_parser)
+    varying_attrs: dict[str, LabeledFrame] = {}
+    for path in sorted(directory.glob("attr_*.csv")):
+        name = path.stem[len("attr_"):]
+        varying_attrs[name] = read_frame_csv(
+            path,
+            row_parser=node_parser,
+            col_parser=time_parser,
+            value_parser=value_parsers.get(name, str),
+        )
+    return TemporalGraph(
+        timeline=Timeline(times),
+        node_presence=node_presence,
+        edge_presence=edge_presence,
+        static_attrs=static_attrs,
+        varying_attrs=varying_attrs,
+        validate=False,
+        edge_attrs=edge_attrs,
+    )

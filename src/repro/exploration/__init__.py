@@ -1,0 +1,57 @@
+"""Evolution exploration (Section 3): events, semi-lattices, U-Explore /
+I-Explore and threshold initialization."""
+
+from .drill import DrillResult, drill_explore
+from .events import EntityKind, EventCounter, EventType
+from .explore import (
+    ExplorationResult,
+    ExtendSide,
+    Goal,
+    IntervalPairResult,
+    exhaustive_explore,
+    explore,
+    i_explore,
+    u_explore,
+)
+from .groups import GroupExplorationResult, explore_groups
+from .lattice import Semantics, Side, left_chain, right_chain
+from .two_sided import (
+    TwoSidedPair,
+    find_non_monotonic_path,
+    two_sided_counts,
+    two_sided_explore,
+)
+from .thresholds import (
+    consecutive_event_counts,
+    suggest_threshold,
+    threshold_ladder,
+)
+
+__all__ = [
+    "EventType",
+    "EntityKind",
+    "EventCounter",
+    "Semantics",
+    "Side",
+    "right_chain",
+    "left_chain",
+    "Goal",
+    "ExtendSide",
+    "IntervalPairResult",
+    "ExplorationResult",
+    "u_explore",
+    "i_explore",
+    "explore",
+    "exhaustive_explore",
+    "explore_groups",
+    "GroupExplorationResult",
+    "consecutive_event_counts",
+    "suggest_threshold",
+    "threshold_ladder",
+    "TwoSidedPair",
+    "two_sided_counts",
+    "two_sided_explore",
+    "find_non_monotonic_path",
+    "drill_explore",
+    "DrillResult",
+]

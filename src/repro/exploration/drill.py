@@ -1,0 +1,115 @@
+"""Hierarchical exploration: find coarse, then drill into base time.
+
+On a long timeline, even the pruned strategies evaluate O(n) chains per
+reference point.  The interactive workflow the paper's conclusion aims
+at ("assist users navigate large graphs") suggests a two-stage search:
+
+1. explore the **coarsened** graph (e.g. years -> half-decades) with a
+   coarse threshold — cheap, few time points;
+2. for every coarse hit, re-run the exploration at **base** granularity
+   restricted to the window the hit covers (plus one unit of context on
+   the open side), with the real threshold.
+
+Because union-semantics coarsening preserves entity presence, a burst of
+base-level events is visible at the coarse level too (with a coarse
+threshold no larger than the fine one), so the drill narrows where to
+look without hiding true positives of at least unit size.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+from dataclasses import dataclass
+from typing import Any
+
+from ..core import TemporalGraph
+from ..core.granularity import TimeHierarchy, coarsen
+from .events import EntityKind, EventType
+from .explore import ExplorationResult, ExtendSide, Goal, explore
+
+__all__ = ["DrillResult", "drill_explore"]
+
+
+@dataclass(frozen=True)
+class DrillResult:
+    """Outcome of a two-stage exploration."""
+
+    coarse: ExplorationResult
+    #: One fine-grained result per coarse hit, keyed by the coarse
+    #: window (first unit label, last unit label).
+    fine: dict[tuple[Any, Any], ExplorationResult]
+
+    @property
+    def total_evaluations(self) -> int:
+        return self.coarse.evaluations + sum(
+            r.evaluations for r in self.fine.values()
+        )
+
+    def all_fine_pairs(self):
+        """Every base-granularity pair found, across all drills."""
+        for result in self.fine.values():
+            yield from result.pairs
+
+
+def _base_window(
+    graph: TemporalGraph,
+    hierarchy: TimeHierarchy,
+    coarse_graph: TemporalGraph,
+    first_unit_index: int,
+    last_unit_index: int,
+) -> list:
+    """Base labels covered by a coarse unit-index range."""
+    labels = []
+    for index in range(first_unit_index, last_unit_index + 1):
+        unit = coarse_graph.timeline.label_at(index)
+        labels.extend(
+            m for m in hierarchy.members(unit) if m in graph.timeline
+        )
+    return labels
+
+
+def drill_explore(
+    graph: TemporalGraph,
+    hierarchy: TimeHierarchy,
+    event: EventType,
+    goal: Goal,
+    extend: ExtendSide,
+    k: int,
+    coarse_k: int | None = None,
+    entity: EntityKind = EntityKind.EDGES,
+    attributes: Sequence[str] = (),
+    key: Any = None,
+) -> DrillResult:
+    """Two-stage exploration through a time hierarchy.
+
+    ``coarse_k`` defaults to ``k`` (sound for union-coarsened presence:
+    a base window with >= k events has >= k at the coarse level that
+    covers it).  Each coarse hit is re-explored at base granularity on
+    the restricted sub-timeline.
+    """
+    if coarse_k is None:
+        coarse_k = k
+    coarse_graph = coarsen(graph, hierarchy, "union")
+    coarse_result = explore(
+        coarse_graph, event, goal, extend, coarse_k,
+        entity=entity, attributes=attributes, key=key,
+    )
+    fine: dict[tuple[Any, Any], ExplorationResult] = {}
+    for pair in coarse_result.pairs:
+        first = min(pair.old.interval.start, pair.new.interval.start)
+        last = max(pair.old.interval.stop, pair.new.interval.stop)
+        window = _base_window(graph, hierarchy, coarse_graph, first, last)
+        if len(window) < 2:
+            continue
+        sub = graph.restricted(graph.nodes, graph.edges, window)
+        coarse_key = (
+            coarse_graph.timeline.label_at(first),
+            coarse_graph.timeline.label_at(last),
+        )
+        if coarse_key in fine:
+            continue
+        fine[coarse_key] = explore(
+            sub, event, goal, extend, k,
+            entity=entity, attributes=attributes, key=key,
+        )
+    return DrillResult(coarse=coarse_result, fine=fine)

@@ -1,0 +1,351 @@
+"""U-Explore, I-Explore and the eight exploration cases of Table 1.
+
+The exploration problem (Definition 3.6): given a threshold ``k``, find
+the *minimal* (under union-semantics extension) or *maximal* (under
+intersection-semantics extension) interval pairs between which at least
+``k`` events of one kind occurred.
+
+Every case fixes one end of the pair as a reference time point and
+extends the other end through the appropriate semi-lattice:
+
+===========  =======  ===========  ==================  =================
+Event        Goal     Extended     Monotonicity        Strategy
+===========  =======  ===========  ==================  =================
+stability    minimal  old or new   increasing          U-Explore
+stability    maximal  old or new   decreasing          I-Explore
+growth       minimal  new (∪)      increasing          U-Explore
+growth       minimal  old (∪)      decreasing          consecutive pairs
+growth       maximal  old (∩)      increasing          longest interval
+growth       maximal  new (∩)      decreasing          I-Explore
+shrinkage    minimal  old (∪)      increasing          U-Explore
+shrinkage    minimal  new (∪)      decreasing          consecutive pairs
+shrinkage    maximal  new (∩)      increasing          longest interval
+shrinkage    maximal  old (∩)      decreasing          I-Explore
+===========  =======  ===========  ==================  =================
+
+The two degenerate strategies are the paper's shortcuts: when extension
+can only lower the count, only the shortest pairs can be minimal (steps
+1-2 of U-Explore); when extension can only raise it, only the longest
+extension can be maximal.
+"""
+
+from __future__ import annotations
+
+import enum
+from collections.abc import Iterator, Sequence
+from dataclasses import dataclass
+from typing import Any
+
+from ..core import Interval, TemporalGraph
+from .events import EntityKind, EventCounter, EventType
+from .lattice import Semantics, Side
+
+__all__ = [
+    "Goal",
+    "ExtendSide",
+    "IntervalPairResult",
+    "ExplorationResult",
+    "u_explore",
+    "i_explore",
+    "explore",
+    "exhaustive_explore",
+]
+
+
+class Goal(enum.Enum):
+    """Minimal pairs (union-semantics extension) or maximal pairs
+    (intersection-semantics extension)."""
+
+    MINIMAL = "minimal"
+    MAXIMAL = "maximal"
+
+    def __str__(self) -> str:
+        return self.value
+
+
+class ExtendSide(enum.Enum):
+    """Which end of the pair is extended; the other is the reference."""
+
+    OLD = "old"
+    NEW = "new"
+
+    def __str__(self) -> str:
+        return self.value
+
+
+@dataclass(frozen=True)
+class IntervalPairResult:
+    """One reported interval pair and its event count."""
+
+    old: Side
+    new: Side
+    count: int
+
+    def __str__(self) -> str:
+        return f"({self.old}, {self.new}): {self.count}"
+
+
+@dataclass(frozen=True)
+class ExplorationResult:
+    """The outcome of one exploration run.
+
+    ``evaluations`` counts how many ``result(G)`` computations were
+    performed — the cost metric the monotonicity pruning reduces (used by
+    the pruning-ablation benchmark).
+    """
+
+    event: EventType
+    goal: Goal
+    extend: ExtendSide
+    k: int
+    pairs: tuple[IntervalPairResult, ...]
+    evaluations: int
+
+    def best(self) -> IntervalPairResult | None:
+        """The pair with the highest count (ties: first)."""
+        if not self.pairs:
+            return None
+        return max(self.pairs, key=lambda pair: pair.count)
+
+    def __str__(self) -> str:
+        pairs = ", ".join(str(p) for p in self.pairs) or "none"
+        return (
+            f"{self.event}/{self.goal} extending {self.extend} with k={self.k}: "
+            f"{pairs} [{self.evaluations} evaluations]"
+        )
+
+
+def _chains(
+    n_times: int, extend: ExtendSide, semantics: Semantics
+) -> Iterator[tuple[int, Iterator[tuple[Side, Side]]]]:
+    """Per reference point, the (old side, new side) extension chain.
+
+    Extending NEW: reference is the old point ``i``; the new side runs
+    ``[i+1]``, ``[i+1..i+2]``, ...  Extending OLD: reference is the new
+    point ``i+1``; the old side runs ``[i]``, ``[i-1..i]``, ...
+    """
+    for i in range(n_times - 1):
+        if extend is ExtendSide.NEW:
+            old = Side.point(i)
+
+            def chain(old: Side = old, start: int = i + 1) -> Iterator[tuple[Side, Side]]:
+                for stop in range(start, n_times):
+                    yield old, Side(Interval(start, stop), semantics)
+
+        else:
+            new = Side.point(i + 1)
+
+            def chain(new: Side = new, stop: int = i) -> Iterator[tuple[Side, Side]]:
+                for start in range(stop, -1, -1):
+                    yield Side(Interval(start, stop), semantics), new
+
+        yield i, chain()
+
+
+def u_explore(
+    counter: EventCounter,
+    event: EventType,
+    extend: ExtendSide,
+    k: int,
+) -> ExplorationResult:
+    """Union Exploration (Section 3.2): minimal pairs with >= k events.
+
+    The extended side walks its union semi-lattice; counts are
+    monotonically increasing along the chain, so the first pair reaching
+    ``k`` is the minimal one for its reference point and the rest of the
+    chain is pruned.
+    """
+    n_times = len(counter.graph.timeline)
+    pairs: list[IntervalPairResult] = []
+    evaluations = 0
+    for _, chain in _chains(n_times, extend, Semantics.UNION):
+        for old, new in chain:
+            evaluations += 1
+            count = counter.count(event, old, new)
+            if count >= k:
+                pairs.append(IntervalPairResult(old, new, count))
+                break
+    return ExplorationResult(
+        event, Goal.MINIMAL, extend, k, tuple(pairs), evaluations
+    )
+
+
+def i_explore(
+    counter: EventCounter,
+    event: EventType,
+    extend: ExtendSide,
+    k: int,
+) -> ExplorationResult:
+    """Intersection Exploration (Section 3.2): maximal pairs with >= k.
+
+    The extended side walks its intersection semi-lattice; counts are
+    monotonically decreasing, so each extension that still passes
+    replaces its predecessor in the candidate set, and the chain stops at
+    the first failure.  References whose shortest pair already fails are
+    pruned entirely (step 2 of the paper's algorithm).
+    """
+    n_times = len(counter.graph.timeline)
+    pairs: list[IntervalPairResult] = []
+    evaluations = 0
+    for _, chain in _chains(n_times, extend, Semantics.INTERSECTION):
+        candidate: IntervalPairResult | None = None
+        for old, new in chain:
+            evaluations += 1
+            count = counter.count(event, old, new)
+            if count >= k:
+                candidate = IntervalPairResult(old, new, count)
+            else:
+                break
+        if candidate is not None:
+            pairs.append(candidate)
+    return ExplorationResult(
+        event, Goal.MAXIMAL, extend, k, tuple(pairs), evaluations
+    )
+
+
+def _consecutive_only(
+    counter: EventCounter,
+    event: EventType,
+    extend: ExtendSide,
+    k: int,
+) -> ExplorationResult:
+    """Degenerate minimal case: the operator is monotonically decreasing
+    under the requested extension, so only consecutive point pairs can be
+    minimal (Sections 3.3/3.4)."""
+    n_times = len(counter.graph.timeline)
+    pairs: list[IntervalPairResult] = []
+    evaluations = 0
+    for i in range(n_times - 1):
+        old, new = Side.point(i), Side.point(i + 1)
+        evaluations += 1
+        count = counter.count(event, old, new)
+        if count >= k:
+            pairs.append(IntervalPairResult(old, new, count))
+    return ExplorationResult(
+        event, Goal.MINIMAL, extend, k, tuple(pairs), evaluations
+    )
+
+
+def _longest_only(
+    counter: EventCounter,
+    event: EventType,
+    extend: ExtendSide,
+    k: int,
+) -> ExplorationResult:
+    """Degenerate maximal case: the operator is monotonically increasing
+    under the requested extension, so for each reference the longest
+    extension is the only candidate maximal pair."""
+    n_times = len(counter.graph.timeline)
+    pairs: list[IntervalPairResult] = []
+    evaluations = 0
+    for i in range(n_times - 1):
+        if extend is ExtendSide.OLD:
+            old = Side(Interval(0, i), Semantics.INTERSECTION)
+            new = Side.point(i + 1)
+        else:
+            old = Side.point(i)
+            new = Side(Interval(i + 1, n_times - 1), Semantics.INTERSECTION)
+        evaluations += 1
+        count = counter.count(event, old, new)
+        if count >= k:
+            pairs.append(IntervalPairResult(old, new, count))
+    return ExplorationResult(
+        event, Goal.MAXIMAL, extend, k, tuple(pairs), evaluations
+    )
+
+
+def explore(
+    graph: TemporalGraph,
+    event: EventType,
+    goal: Goal,
+    extend: ExtendSide,
+    k: int,
+    entity: EntityKind = EntityKind.EDGES,
+    attributes: Sequence[str] = (),
+    key: Any = None,
+) -> ExplorationResult:
+    """Run one of the eight Table-1 exploration cases.
+
+    Parameters
+    ----------
+    graph:
+        The temporal graph to explore.
+    event, goal, extend:
+        Which Table-1 row to run.
+    k:
+        The event-count threshold (see
+        :func:`repro.exploration.thresholds.suggest_threshold`).
+    entity, attributes, key:
+        What to count — e.g. ``entity=EDGES, attributes=["gender"],
+        key=(("f",), ("f",))`` counts female-female edges as in the
+        paper's Figures 13/14.
+    """
+    if k < 1:
+        raise ValueError(f"threshold k must be positive, got {k}")
+    counter = EventCounter(graph, entity=entity, attributes=attributes, key=key)
+    if event is EventType.STABILITY:
+        if goal is Goal.MINIMAL:
+            return u_explore(counter, event, extend, k)
+        return i_explore(counter, event, extend, k)
+    if event is EventType.GROWTH:
+        if goal is Goal.MINIMAL:
+            if extend is ExtendSide.NEW:
+                return u_explore(counter, event, extend, k)
+            return _consecutive_only(counter, event, extend, k)
+        if extend is ExtendSide.OLD:
+            return _longest_only(counter, event, extend, k)
+        return i_explore(counter, event, extend, k)
+    # Shrinkage mirrors growth with the sides swapped.
+    if goal is Goal.MINIMAL:
+        if extend is ExtendSide.OLD:
+            return u_explore(counter, event, extend, k)
+        return _consecutive_only(counter, event, extend, k)
+    if extend is ExtendSide.NEW:
+        return _longest_only(counter, event, extend, k)
+    return i_explore(counter, event, extend, k)
+
+
+def exhaustive_explore(
+    graph: TemporalGraph,
+    event: EventType,
+    goal: Goal,
+    extend: ExtendSide,
+    k: int,
+    entity: EntityKind = EntityKind.EDGES,
+    attributes: Sequence[str] = (),
+    key: Any = None,
+) -> ExplorationResult:
+    """Oracle explorer: evaluates *every* pair in the case's candidate
+    space and selects minimal/maximal pairs by definition.
+
+    Used to validate the pruned strategies in tests, and as the baseline
+    of the pruning-ablation benchmark.  The semantics of the extended
+    side follow the goal (union for minimal, intersection for maximal),
+    exactly as in :func:`explore`.
+    """
+    if k < 1:
+        raise ValueError(f"threshold k must be positive, got {k}")
+    counter = EventCounter(graph, entity=entity, attributes=attributes, key=key)
+    semantics = Semantics.UNION if goal is Goal.MINIMAL else Semantics.INTERSECTION
+    n_times = len(graph.timeline)
+    pairs: list[IntervalPairResult] = []
+    evaluations = 0
+    for _, chain in _chains(n_times, extend, semantics):
+        passing: list[IntervalPairResult] = []
+        for old, new in chain:
+            evaluations += 1
+            count = counter.count(event, old, new)
+            if count >= k:
+                passing.append(IntervalPairResult(old, new, count))
+        if not passing:
+            continue
+        if goal is Goal.MINIMAL:
+            # Definition 3.4: the shortest passing extension — no proper
+            # sub-extension passes.  Chains yield in increasing length,
+            # so that is the first passing pair.
+            pairs.append(passing[0])
+        else:
+            # Definition 3.5: the longest passing extension — no proper
+            # super-extension passes.  That is the last passing pair.
+            pairs.append(passing[-1])
+    return ExplorationResult(event, goal, extend, k, tuple(pairs), evaluations)

@@ -1,0 +1,91 @@
+"""Union / intersection semi-lattices over consecutive intervals (§3.1).
+
+The exploration strategies never consider arbitrary time sets: starting
+from pairs of consecutive base time points they repeatedly extend one
+side of the pair with its *child* in the union or intersection
+semi-lattice — i.e. the span grown by one adjacent base interval.  A
+:class:`Side` is such a span together with the semantics that give it
+meaning as a graph:
+
+* ``Semantics.UNION`` — an entity qualifies on the side if it exists at
+  *any* covered time point (the relaxed view; monotonically increasing);
+* ``Semantics.INTERSECTION`` — the entity must exist at *every* covered
+  time point (the strict view; monotonically decreasing).
+"""
+
+from __future__ import annotations
+
+import enum
+from collections.abc import Iterator
+from dataclasses import dataclass
+
+from ..core import Interval
+
+__all__ = ["Semantics", "Side", "right_chain", "left_chain"]
+
+
+class Semantics(enum.Enum):
+    """How a multi-point span selects entities."""
+
+    UNION = "union"
+    INTERSECTION = "intersection"
+
+    def __str__(self) -> str:
+        return self.value
+
+
+@dataclass(frozen=True)
+class Side:
+    """One side of an interval pair: a span plus its semantics.
+
+    A single time point is the same graph under either semantics; spans
+    of length > 1 differ.
+    """
+
+    interval: Interval
+    semantics: Semantics = Semantics.UNION
+
+    @classmethod
+    def point(cls, index: int) -> "Side":
+        """A single-time-point side (semantics irrelevant)."""
+        return cls(Interval.point(index), Semantics.UNION)
+
+    @property
+    def is_point(self) -> bool:
+        return self.interval.is_point
+
+    def extend_right(self) -> "Side":
+        """The right child in this side's semi-lattice."""
+        return Side(self.interval.extend_right(), self.semantics)
+
+    def extend_left(self) -> "Side":
+        """The left child in this side's semi-lattice."""
+        return Side(self.interval.extend_left(), self.semantics)
+
+    def __str__(self) -> str:
+        if self.is_point:
+            return str(self.interval)
+        return f"{self.interval}({self.semantics})"
+
+
+def right_chain(start: int, last: int, semantics: Semantics) -> Iterator[Side]:
+    """Sides ``[start..start]``, ``[start..start+1]``, ... ``[start..last]``.
+
+    The extension chain U-Explore / I-Explore walk when growing the right
+    (newer) end of a pair.
+    """
+    if last < start:
+        raise ValueError(f"chain end {last} precedes start {start}")
+    for stop in range(start, last + 1):
+        yield Side(Interval(start, stop), semantics)
+
+
+def left_chain(stop: int, first: int, semantics: Semantics) -> Iterator[Side]:
+    """Sides ``[stop..stop]``, ``[stop-1..stop]``, ... ``[first..stop]``.
+
+    The extension chain walked when growing the left (older) end.
+    """
+    if first > stop:
+        raise ValueError(f"chain start {first} exceeds end {stop}")
+    for start in range(stop, first - 1, -1):
+        yield Side(Interval(start, stop), semantics)

@@ -1,0 +1,168 @@
+"""Two-sided exploration: extending both ends of an interval pair.
+
+Section 3.3 closes with a warning: "When we extend both T_new and
+T_old, difference is non-monotonous irrespectively to the semantics
+(union or intersection) used" — which is why the paper's strategies fix
+one reference point.  This module makes the consequence concrete:
+
+* :func:`two_sided_counts` enumerates the full two-sided candidate
+  space (every pair of non-overlapping spans) and its event counts;
+* :func:`find_non_monotonic_path` exhibits a concrete violation — a
+  chain of pairwise-nested pairs whose counts go up and then down — the
+  empirical content of the paper's claim (tested on both datasets);
+* :func:`two_sided_explore` is the honest fallback when both sides must
+  vary: exhaustive search over the (quadratic) space with an explicit
+  size guard, returning all pairs meeting the threshold that are
+  minimal/maximal under pairwise span inclusion.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+from dataclasses import dataclass
+from typing import Any
+
+from ..core import Interval, TemporalGraph
+from .events import EntityKind, EventCounter, EventType
+from .explore import Goal
+from .lattice import Semantics, Side
+
+__all__ = [
+    "TwoSidedPair",
+    "two_sided_counts",
+    "find_non_monotonic_path",
+    "two_sided_explore",
+]
+
+
+@dataclass(frozen=True)
+class TwoSidedPair:
+    """A candidate pair where both sides may be intervals."""
+
+    old: Interval
+    new: Interval
+    count: int
+
+    def contains(self, other: "TwoSidedPair") -> bool:
+        """Span-wise containment (both sides)."""
+        return self.old.contains(other.old) and self.new.contains(other.new)
+
+
+def two_sided_counts(
+    graph: TemporalGraph,
+    event: EventType,
+    semantics: Semantics,
+    entity: EntityKind = EntityKind.EDGES,
+    attributes: Sequence[str] = (),
+    key: Any = None,
+    max_pairs: int = 20_000,
+) -> list[TwoSidedPair]:
+    """Counts for every non-overlapping (old span, new span) pair.
+
+    The candidate space is O(n^4) in the number of time points; the
+    ``max_pairs`` guard fails loudly instead of silently melting on a
+    long timeline.
+    """
+    n = len(graph.timeline)
+    pairs: list[tuple[Interval, Interval]] = []
+    for old_start in range(n):
+        for old_stop in range(old_start, n - 1):
+            for new_start in range(old_stop + 1, n):
+                for new_stop in range(new_start, n):
+                    pairs.append(
+                        (Interval(old_start, old_stop), Interval(new_start, new_stop))
+                    )
+    if len(pairs) > max_pairs:
+        raise ValueError(
+            f"two-sided space has {len(pairs)} pairs (> {max_pairs}); "
+            "shorten the timeline or raise max_pairs explicitly"
+        )
+    counter = EventCounter(graph, entity=entity, attributes=attributes, key=key)
+    results = []
+    for old, new in pairs:
+        count = counter.count(
+            event, Side(old, semantics), Side(new, semantics)
+        )
+        results.append(TwoSidedPair(old, new, count))
+    return results
+
+
+def find_non_monotonic_path(
+    graph: TemporalGraph,
+    event: EventType,
+    semantics: Semantics,
+    entity: EntityKind = EntityKind.EDGES,
+) -> tuple[TwoSidedPair, TwoSidedPair, TwoSidedPair] | None:
+    """A nested chain ``a ⊂ b ⊂ c`` whose counts are not monotone.
+
+    Returns the witness (or ``None`` if the graph happens to be
+    monotone, which finite data may be).  The existence of witnesses on
+    ordinary data is the paper's justification for single-sided
+    exploration.
+    """
+    pairs = two_sided_counts(graph, event, semantics, entity=entity)
+    by_spans = {(p.old, p.new): p for p in pairs}
+    for a in pairs:
+        # Grow the old side, then the new side (one concrete nesting).
+        if a.old.start == 0:
+            continue
+        b_spans = (a.old.extend_left(), a.new)
+        b = by_spans.get(b_spans)
+        if b is None:
+            continue
+        if b.new.stop + 1 >= len(graph.timeline):
+            continue
+        c = by_spans.get((b.old, b.new.extend_right()))
+        if c is None:
+            continue
+        ups_then_down = a.count < b.count > c.count
+        down_then_up = a.count > b.count < c.count
+        if ups_then_down or down_then_up:
+            return (a, b, c)
+    return None
+
+
+def two_sided_explore(
+    graph: TemporalGraph,
+    event: EventType,
+    goal: Goal,
+    k: int,
+    entity: EntityKind = EntityKind.EDGES,
+    attributes: Sequence[str] = (),
+    key: Any = None,
+    max_pairs: int = 20_000,
+) -> list[TwoSidedPair]:
+    """Exhaustive two-sided exploration with pairwise-inclusion pruning.
+
+    Returns the passing pairs that are *minimal* (no passing pair is
+    span-contained in them) or *maximal* (no passing pair contains
+    them).  Without monotonicity no search-space pruning is sound, so
+    this is a filter over the full enumeration — the price the paper's
+    reference-point restriction avoids.
+    """
+    if k < 1:
+        raise ValueError(f"threshold k must be positive, got {k}")
+    semantics = Semantics.UNION if goal is Goal.MINIMAL else Semantics.INTERSECTION
+    passing = [
+        p
+        for p in two_sided_counts(
+            graph, event, semantics,
+            entity=entity, attributes=attributes, key=key, max_pairs=max_pairs,
+        )
+        if p.count >= k
+    ]
+    kept = []
+    for candidate in passing:
+        if goal is Goal.MINIMAL:
+            dominated = any(
+                other is not candidate and candidate.contains(other)
+                for other in passing
+            )
+        else:
+            dominated = any(
+                other is not candidate and other.contains(candidate)
+                for other in passing
+            )
+        if not dominated:
+            kept.append(candidate)
+    return kept

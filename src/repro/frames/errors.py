@@ -1,0 +1,38 @@
+"""Exceptions raised by the labeled-array substrate.
+
+The paper's algorithms (Section 4) are written against "labeled arrays":
+2-D arrays whose rows are labeled with node/edge identifiers and whose
+columns are labeled with time points or attribute names.  This package
+implements those arrays; all of its error conditions derive from
+:class:`FrameError` so callers can catch substrate failures uniformly.
+"""
+
+from __future__ import annotations
+
+
+class FrameError(Exception):
+    """Base class for all labeled-array errors."""
+
+
+class LabelError(FrameError, KeyError):
+    """An unknown row or column label was requested.
+
+    Inherits from :class:`KeyError` so idiomatic ``except KeyError``
+    call sites keep working, while still being a :class:`FrameError`.
+    """
+
+    def __str__(self) -> str:  # KeyError quotes its args; keep the message readable
+        return Exception.__str__(self)
+
+
+class DuplicateLabelError(FrameError, ValueError):
+    """A frame was constructed with duplicate row or column labels."""
+
+
+class ShapeError(FrameError, ValueError):
+    """Values supplied to a frame do not match its labels' shape."""
+
+
+class SchemaError(FrameError, ValueError):
+    """A relational :class:`~repro.frames.table.Table` operation referenced
+    columns missing from the table, or combined incompatible schemas."""

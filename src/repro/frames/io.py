@@ -1,0 +1,111 @@
+"""Plain-text persistence for frames and tables.
+
+The public GraphTempo repository ships its datasets as whitespace/comma
+separated text files (one presence matrix per entity kind, one file per
+attribute).  This module reads and writes that layout so generated
+datasets can be saved to disk and reloaded without regeneration.
+"""
+
+from __future__ import annotations
+
+import csv
+from collections.abc import Callable, Hashable
+from pathlib import Path
+from typing import Any
+
+import numpy as np
+
+from .labeled_frame import LabeledFrame
+from .table import Table
+
+__all__ = [
+    "write_frame_csv",
+    "read_frame_csv",
+    "write_table_csv",
+    "read_table_csv",
+]
+
+_MISSING = ""
+
+
+def _encode(value: Any) -> str:
+    if value is None:
+        return _MISSING
+    return str(value)
+
+
+def write_frame_csv(frame: LabeledFrame, path: str | Path) -> None:
+    """Write a frame as CSV: header = ``id`` + column labels, one row per
+    row label.  ``None`` cells become empty fields."""
+    path = Path(path)
+    with path.open("w", newline="") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(["id"] + [_encode(c) for c in frame.col_labels])
+        for label, values in frame.iter_rows():
+            writer.writerow([_encode(label)] + [_encode(v) for v in values])
+
+
+def read_frame_csv(
+    path: str | Path,
+    row_parser: Callable[[str], Hashable] = str,
+    col_parser: Callable[[str], Hashable] = str,
+    value_parser: Callable[[str], Any] = str,
+) -> LabeledFrame:
+    """Read a frame written by :func:`write_frame_csv`.
+
+    Parsers convert the string fields back to their runtime types (e.g.
+    pass ``int`` for year columns and integer presence flags).  Empty
+    value fields decode to ``None``.
+    """
+    path = Path(path)
+    with path.open(newline="") as handle:
+        reader = csv.reader(handle)
+        header = next(reader)
+        col_labels = [col_parser(c) for c in header[1:]]
+        row_labels: list[Hashable] = []
+        rows: list[list[Any]] = []
+        for record in reader:
+            row_labels.append(row_parser(record[0]))
+            rows.append(
+                [None if field == _MISSING else value_parser(field) for field in record[1:]]
+            )
+    if not rows:
+        return LabeledFrame.empty(col_labels)
+    for row in rows:
+        if len(row) != len(col_labels):
+            raise ValueError(
+                f"{path}: row has {len(row)} fields, expected {len(col_labels)}"
+            )
+    # Build positionally (not via a dict) so duplicate row labels raise
+    # DuplicateLabelError instead of silently overwriting each other.
+    values = np.empty((len(rows), len(col_labels)), dtype=object)
+    for i, row in enumerate(rows):
+        for j, value in enumerate(row):
+            values[i, j] = value
+    return LabeledFrame(row_labels, col_labels, values)
+
+
+def write_table_csv(table: Table, path: str | Path) -> None:
+    """Write a relational table as CSV with a header row."""
+    path = Path(path)
+    with path.open("w", newline="") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(list(table.columns))
+        for row in table.rows:
+            writer.writerow([_encode(v) for v in row])
+
+
+def read_table_csv(
+    path: str | Path,
+    value_parser: Callable[[str], Any] = str,
+) -> Table:
+    """Read a table written by :func:`write_table_csv`."""
+    path = Path(path)
+    with path.open(newline="") as handle:
+        reader = csv.reader(handle)
+        columns = next(reader)
+        rows = [
+            tuple(None if field == _MISSING else value_parser(field) for field in record)
+            for record in reader
+        ]
+    return Table(columns, rows)

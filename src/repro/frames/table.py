@@ -1,0 +1,318 @@
+"""A minimal relational table: named columns over tuple rows.
+
+Algorithm 2 of the paper expresses attribute aggregation as a pipeline of
+relational operations over unpivoted attribute arrays::
+
+    unpivot -> merge -> deduplicate -> groupby().count()
+
+This module supplies exactly those operations.  Rows are plain Python
+tuples, columns are named; grouping uses hash dictionaries, so the
+asymptotic behaviour matches what a dataframe library would do (a single
+pass plus hashing), which is what makes the benchmark *shapes* of
+Section 5 reproducible without pandas.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Hashable, Iterable, Iterator, Sequence
+from typing import Any, Callable
+
+from .errors import SchemaError
+from .labeled_frame import LabeledFrame
+
+__all__ = ["Table", "unpivot"]
+
+
+class Table:
+    """An ordered bag of tuples with named columns.
+
+    Unlike :class:`~repro.frames.labeled_frame.LabeledFrame`, a table may
+    contain duplicate rows — distinct vs. non-distinct aggregation
+    (Section 2.2) is precisely the choice of whether to deduplicate before
+    counting.
+    """
+
+    __slots__ = ("_columns", "_rows", "_positions")
+
+    def __init__(self, columns: Sequence[str], rows: Iterable[Sequence[Any]] = ()) -> None:
+        self._columns: tuple[str, ...] = tuple(columns)
+        self._positions: dict[str, int] = {c: i for i, c in enumerate(self._columns)}
+        if len(self._positions) != len(self._columns):
+            raise SchemaError(f"duplicate column names: {self._columns!r}")
+        self._rows: list[tuple[Any, ...]] = []
+        for row in rows:
+            row = tuple(row)
+            if len(row) != len(self._columns):
+                raise SchemaError(
+                    f"row {row!r} has {len(row)} values, expected {len(self._columns)}"
+                )
+            self._rows.append(row)
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+
+    @property
+    def columns(self) -> tuple[str, ...]:
+        return self._columns
+
+    @property
+    def rows(self) -> list[tuple[Any, ...]]:
+        """The row list (live — treat as read-only)."""
+        return self._rows
+
+    def __len__(self) -> int:
+        return len(self._rows)
+
+    def __iter__(self) -> Iterator[tuple[Any, ...]]:
+        return iter(self._rows)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Table):
+            return NotImplemented
+        return self._columns == other._columns and self._rows == other._rows
+
+    def __repr__(self) -> str:
+        return f"Table(columns={self._columns!r}, n_rows={len(self._rows)})"
+
+    def column_position(self, name: str) -> int:
+        try:
+            return self._positions[name]
+        except KeyError:
+            raise SchemaError(
+                f"unknown column {name!r}; table has {self._columns!r}"
+            ) from None
+
+    def column_values(self, name: str) -> list[Any]:
+        """All values of one column, in row order (duplicates preserved)."""
+        position = self.column_position(name)
+        return [row[position] for row in self._rows]
+
+    # ------------------------------------------------------------------
+    # Row-level mutation (builders only)
+    # ------------------------------------------------------------------
+
+    def append(self, row: Sequence[Any]) -> None:
+        """Add one row in place."""
+        row = tuple(row)
+        if len(row) != len(self._columns):
+            raise SchemaError(
+                f"row {row!r} has {len(row)} values, expected {len(self._columns)}"
+            )
+        self._rows.append(row)
+
+    def extend(self, rows: Iterable[Sequence[Any]]) -> None:
+        for row in rows:
+            self.append(row)
+
+    # ------------------------------------------------------------------
+    # Relational operations
+    # ------------------------------------------------------------------
+
+    def select(self, predicate: Callable[[tuple[Any, ...]], bool]) -> "Table":
+        """Rows satisfying a predicate over the raw tuple."""
+        return Table(self._columns, (row for row in self._rows if predicate(row)))
+
+    def project(self, columns: Sequence[str]) -> "Table":
+        """Keep only the given columns (duplicates in output preserved)."""
+        positions = [self.column_position(c) for c in columns]
+        return Table(
+            tuple(columns),
+            (tuple(row[p] for p in positions) for row in self._rows),
+        )
+
+    def rename(self, mapping: dict[str, str]) -> "Table":
+        """A copy with some columns renamed."""
+        for old in mapping:
+            self.column_position(old)  # validate
+        columns = tuple(mapping.get(c, c) for c in self._columns)
+        return Table(columns, self._rows)
+
+    def concat(self, other: "Table") -> "Table":
+        """Rows of both tables (schemas must match)."""
+        if other.columns != self._columns:
+            raise SchemaError(
+                f"cannot concat tables with columns {self._columns!r} and "
+                f"{other.columns!r}"
+            )
+        merged = Table(self._columns, self._rows)
+        merged.extend(other.rows)
+        return merged
+
+    def deduplicate(self, keys: Sequence[str] | None = None) -> "Table":
+        """Drop duplicate rows, keeping the first occurrence.
+
+        ``keys`` selects the columns forming the duplicate key; by default
+        the whole row is the key.  This is the ``deduplicate`` step that
+        distinguishes DIST from ALL aggregation (Algorithm 2, line 5).
+        """
+        if keys is None:
+            positions = list(range(len(self._columns)))
+        else:
+            positions = [self.column_position(c) for c in keys]
+        seen: set[tuple[Any, ...]] = set()
+        kept: list[tuple[Any, ...]] = []
+        for row in self._rows:
+            key = tuple(row[p] for p in positions)
+            if key not in seen:
+                seen.add(key)
+                kept.append(row)
+        return Table(self._columns, kept)
+
+    def join(
+        self,
+        other: "Table",
+        on: Sequence[str],
+        how: str = "inner",
+    ) -> "Table":
+        """Hash join on equality of the ``on`` columns.
+
+        ``how`` may be ``"inner"`` (default) or ``"left"``; a left join
+        fills the right side with ``None``.  Output columns are this
+        table's columns followed by the other table's non-key columns.
+        """
+        if how not in ("inner", "left"):
+            raise SchemaError(f"unsupported join type: {how!r}")
+        left_keys = [self.column_position(c) for c in on]
+        right_keys = [other.column_position(c) for c in on]
+        right_other_positions = [
+            i for i, c in enumerate(other.columns) if c not in on
+        ]
+        right_other_names = [other.columns[i] for i in right_other_positions]
+        for name in right_other_names:
+            if name in self._positions:
+                raise SchemaError(
+                    f"join would duplicate column {name!r}; rename it first"
+                )
+        index: dict[tuple[Any, ...], list[tuple[Any, ...]]] = {}
+        for row in other.rows:
+            key = tuple(row[p] for p in right_keys)
+            index.setdefault(key, []).append(
+                tuple(row[p] for p in right_other_positions)
+            )
+        out_columns = self._columns + tuple(right_other_names)
+        out_rows: list[tuple[Any, ...]] = []
+        missing = (None,) * len(right_other_positions)
+        for row in self._rows:
+            key = tuple(row[p] for p in left_keys)
+            matches = index.get(key)
+            if matches:
+                for extra in matches:
+                    out_rows.append(row + extra)
+            elif how == "left":
+                out_rows.append(row + missing)
+        return Table(out_columns, out_rows)
+
+    def order_by(
+        self, columns: Sequence[str], descending: bool = False
+    ) -> "Table":
+        """Rows sorted by the given columns (stable sort).
+
+        Mixed-type columns sort by their string rendering, so ordering
+        never raises on heterogenous attribute values.
+        """
+        positions = [self.column_position(c) for c in columns]
+
+        def sort_key(row: tuple[Any, ...]) -> tuple[Any, ...]:
+            return tuple(
+                (0, row[p]) if isinstance(row[p], (int, float)) and not isinstance(row[p], bool)
+                else (1, str(row[p]))
+                for p in positions
+            )
+
+        return Table(
+            self._columns, sorted(self._rows, key=sort_key, reverse=descending)
+        )
+
+    def limit(self, count: int) -> "Table":
+        """The first ``count`` rows (the top-k companion of order_by)."""
+        if count < 0:
+            raise SchemaError(f"limit must be non-negative, got {count}")
+        return Table(self._columns, self._rows[:count])
+
+    def distinct_values(self, column: str) -> list[Any]:
+        """Distinct values of one column, in first-appearance order."""
+        position = self.column_position(column)
+        return list(dict.fromkeys(row[position] for row in self._rows))
+
+    def groupby_count(self, keys: Sequence[str]) -> dict[tuple[Any, ...], int]:
+        """Count rows per distinct key tuple (Algorithm 2, line 8/19)."""
+        positions = [self.column_position(c) for c in keys]
+        counts: dict[tuple[Any, ...], int] = {}
+        for row in self._rows:
+            key = tuple(row[p] for p in positions)
+            counts[key] = counts.get(key, 0) + 1
+        return counts
+
+    def groupby_sum(
+        self, keys: Sequence[str], value: str
+    ) -> dict[tuple[Any, ...], Any]:
+        """Sum one numeric column per distinct key tuple.
+
+        Used by the static-attribute fast path of non-distinct aggregation
+        (Section 4.2: "instead of counting the appearances of each group,
+        we sum their weights") and by D-distributive roll-ups (Section 4.3).
+        """
+        positions = [self.column_position(c) for c in keys]
+        value_position = self.column_position(value)
+        sums: dict[tuple[Any, ...], Any] = {}
+        for row in self._rows:
+            key = tuple(row[p] for p in positions)
+            sums[key] = sums.get(key, 0) + row[value_position]
+        return sums
+
+    def groupby_agg(
+        self, keys: Sequence[str], value: str, func: Callable[[list[Any]], Any]
+    ) -> dict[tuple[Any, ...], Any]:
+        """Apply an arbitrary aggregate over one column per key group.
+
+        This supports the extension beyond COUNT that Section 2.2 mentions
+        ("other aggregations may be supported"): MIN/MAX/AVG/SUM over
+        attribute values.
+        """
+        positions = [self.column_position(c) for c in keys]
+        value_position = self.column_position(value)
+        groups: dict[tuple[Any, ...], list[Any]] = {}
+        for row in self._rows:
+            key = tuple(row[p] for p in positions)
+            groups.setdefault(key, []).append(row[value_position])
+        return {key: func(values) for key, values in groups.items()}
+
+    def to_string(self, max_rows: int = 20) -> str:
+        """A small aligned text rendering for reports and examples."""
+        header = [str(c) for c in self._columns]
+        body = [[str(v) for v in row] for row in self._rows[:max_rows]]
+        widths = [
+            max([len(header[i])] + [len(line[i]) for line in body])
+            for i in range(len(header))
+        ]
+        lines = ["  ".join(cell.ljust(w) for cell, w in zip(header, widths))]
+        for line in body:
+            lines.append("  ".join(cell.ljust(w) for cell, w in zip(line, widths)))
+        if len(self._rows) > max_rows:
+            lines.append(f"... ({len(self._rows) - max_rows} more rows)")
+        return "\n".join(lines)
+
+
+def unpivot(
+    frame: LabeledFrame,
+    row_name: str = "id",
+    col_name: str = "t",
+    value_name: str = "value",
+    drop_missing: bool = True,
+) -> Table:
+    """Melt a labeled frame to long ``(row, column, value)`` form.
+
+    This is Algorithm 2's ``unpivot`` (line 2): the per-time columns of a
+    time-varying attribute array become rows, so a node contributes one
+    record per time point at which it has a value.  Cells equal to ``None``
+    (the paper's "-" entries in Table 2, i.e. the node does not exist at
+    that time) are dropped when ``drop_missing`` is set.
+    """
+    rows: list[tuple[Hashable, Hashable, Any]] = []
+    for label, values in frame.iter_rows():
+        for col, value in zip(frame.col_labels, values):
+            if drop_missing and value is None:
+                continue
+            rows.append((label, col, value))
+    return Table((row_name, col_name, value_name), rows)

@@ -1,0 +1,13 @@
+"""Interoperability with external tools (networkx, graphviz DOT)."""
+
+from .dot import aggregate_to_dot, evolution_to_dot, write_dot
+from .networkx_adapter import aggregate_to_networkx, from_snapshots, to_networkx
+
+__all__ = [
+    "to_networkx",
+    "from_snapshots",
+    "aggregate_to_networkx",
+    "aggregate_to_dot",
+    "evolution_to_dot",
+    "write_dot",
+]

@@ -1,0 +1,107 @@
+"""NetworkX interoperability.
+
+Section 2 of the paper notes the model "can also be adapted for any
+graph model".  This module converts between :class:`TemporalGraph` and
+networkx:
+
+* :func:`to_networkx` — one directed snapshot (or window) as an
+  ``nx.DiGraph`` with node attributes resolved at the chosen time;
+* :func:`from_snapshots` — build a :class:`TemporalGraph` from a
+  time-ordered mapping of ``nx.DiGraph`` snapshots;
+* :func:`aggregate_to_networkx` — render an
+  :class:`~repro.core.AggregateGraph` as a weighted ``nx.DiGraph`` for
+  downstream analysis or drawing.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Hashable, Iterable, Mapping, Sequence
+
+import networkx as nx
+
+from ..core import AggregateGraph, TemporalGraph, TemporalGraphBuilder, union
+
+__all__ = ["to_networkx", "from_snapshots", "aggregate_to_networkx"]
+
+
+def to_networkx(
+    graph: TemporalGraph,
+    times: Iterable[Hashable] | None = None,
+) -> nx.DiGraph:
+    """The union window over ``times`` as a directed networkx graph.
+
+    Node attributes carry the static attribute values plus, for each
+    time-varying attribute, a dict ``{time: value}`` over the window.
+    Edge attributes carry the presence times within the window.
+    """
+    if times is None:
+        window = graph.timeline.labels
+    else:
+        window = tuple(times)
+    sub = union(graph, window)
+    out = nx.DiGraph()
+    for node in sub.nodes:
+        payload = dict(
+            zip(sub.static_attrs.col_labels, sub.static_attrs.row(node))
+        )
+        for name, frame in sub.varying_attrs.items():
+            payload[name] = {
+                t: frame.cell(node, t)
+                for t in sub.timeline.labels
+                if frame.cell(node, t) is not None
+            }
+        payload["times"] = sub.node_times(node)
+        out.add_node(node, **payload)
+    for u, v in sub.edges:
+        out.add_edge(u, v, times=sub.edge_times((u, v)))
+    return out
+
+
+def from_snapshots(
+    snapshots: Mapping[Hashable, nx.DiGraph],
+    static: Sequence[str] = (),
+    varying: Sequence[str] = (),
+) -> TemporalGraph:
+    """Build a temporal attributed graph from per-time snapshots.
+
+    ``snapshots`` maps each time point (in timeline order — dicts
+    preserve insertion order) to a directed graph whose node attribute
+    dicts carry the declared static and time-varying attribute values.
+    Static values are taken from the first snapshot in which the node
+    appears; later snapshots may omit them.
+    """
+    times = tuple(snapshots)
+    if not times:
+        raise ValueError("at least one snapshot is required")
+    builder = TemporalGraphBuilder(times, static=static, varying=varying)
+    for time, snapshot in snapshots.items():
+        for node, payload in snapshot.nodes(data=True):
+            static_values = {
+                name: payload[name] for name in static if name in payload
+            }
+            builder.add_node(node, static_values)
+            varying_values = {
+                name: payload[name] for name in varying if name in payload
+            }
+            builder.set_node_presence(node, time, **varying_values)
+        for u, v in snapshot.edges():
+            builder.add_edge(u, v, [time])
+    return builder.build()
+
+
+def aggregate_to_networkx(aggregate: AggregateGraph) -> nx.DiGraph:
+    """Render an aggregate graph as a weighted directed networkx graph.
+
+    Aggregate nodes are keyed by their attribute tuples and carry a
+    ``weight`` attribute; aggregate edges likewise.
+    """
+    out = nx.DiGraph()
+    for key, weight in aggregate.node_weights.items():
+        out.add_node(key, weight=weight)
+    for (source, target), weight in aggregate.edge_weights.items():
+        if source not in out:
+            out.add_node(source, weight=0)
+        if target not in out:
+            out.add_node(target, weight=0)
+        out.add_edge(source, target, weight=weight)
+    return out

@@ -1,0 +1,6 @@
+"""Partial materialization and reuse of aggregate graphs (Section 4.3)."""
+
+from .incremental import IncrementalStore
+from .store import MaterializedStore, StoreStats
+
+__all__ = ["MaterializedStore", "StoreStats", "IncrementalStore"]

@@ -1,0 +1,96 @@
+"""Incremental maintenance of materialized aggregates.
+
+T-distributivity (Section 4.3) makes non-distinct union aggregates
+maintainable in O(new time point): when a snapshot is appended, only the
+new point's aggregate must be computed, and the running union total is
+its pointwise sum with the previous total.  :class:`IncrementalStore`
+packages this: it owns the growing graph, per-point aggregates for the
+attribute sets it tracks, and the running totals, updating them all on
+:meth:`append`.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+from ..core import AggregateGraph, TemporalGraph, aggregate
+from ..core.updates import SnapshotUpdate, append_snapshot
+
+__all__ = ["IncrementalStore"]
+
+
+class IncrementalStore:
+    """Streaming materialization over a growing temporal graph.
+
+    Parameters
+    ----------
+    graph:
+        The initial temporal graph.
+    tracked:
+        Attribute sets whose non-distinct union aggregates are kept
+        current.  Each gets a per-time-point aggregate and a running
+        total over the whole timeline.
+    """
+
+    def __init__(
+        self, graph: TemporalGraph, tracked: Sequence[Sequence[str]]
+    ) -> None:
+        self._graph = graph
+        self._tracked = [tuple(attrs) for attrs in tracked]
+        if len(set(self._tracked)) != len(self._tracked):
+            raise ValueError("duplicate tracked attribute sets")
+        self._points: dict[tuple[str, ...], list[AggregateGraph]] = {}
+        self._totals: dict[tuple[str, ...], AggregateGraph] = {}
+        for attrs in self._tracked:
+            points = [
+                aggregate(graph, list(attrs), distinct=False, times=[t])
+                for t in graph.timeline.labels
+            ]
+            self._points[attrs] = points
+            total = points[0]
+            for point in points[1:]:
+                total = total.combine(point)
+            self._totals[attrs] = total
+
+    @property
+    def graph(self) -> TemporalGraph:
+        """The current graph (replaced, never mutated, on append)."""
+        return self._graph
+
+    @property
+    def tracked(self) -> tuple[tuple[str, ...], ...]:
+        return tuple(self._tracked)
+
+    def append(self, update: SnapshotUpdate) -> TemporalGraph:
+        """Extend the graph by one snapshot and refresh all aggregates.
+
+        Only the new time point is aggregated; running totals are
+        updated by one pointwise sum per tracked attribute set.
+        Returns the new graph.
+        """
+        self._graph = append_snapshot(self._graph, update)
+        for attrs in self._tracked:
+            point = aggregate(
+                self._graph, list(attrs), distinct=False, times=[update.time]
+            )
+            self._points[attrs].append(point)
+            self._totals[attrs] = self._totals[attrs].combine(point)
+        return self._graph
+
+    def timepoint_aggregate(
+        self, attributes: Sequence[str], index: int
+    ) -> AggregateGraph:
+        """The materialized aggregate of the ``index``-th time point."""
+        return self._points[self._key(attributes)][index]
+
+    def union_total(self, attributes: Sequence[str]) -> AggregateGraph:
+        """The running union(ALL) aggregate over the whole timeline."""
+        return self._totals[self._key(attributes)]
+
+    def _key(self, attributes: Sequence[str]) -> tuple[str, ...]:
+        key = tuple(attributes)
+        if key not in self._points:
+            raise KeyError(
+                f"attribute set {key!r} is not tracked; tracked: {self._tracked!r}"
+            )
+        return key

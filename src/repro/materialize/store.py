@@ -1,0 +1,150 @@
+"""Partial materialization of aggregate graphs (Section 4.3).
+
+Materializing every (attribute set x interval) aggregate is unrealistic;
+the paper instead precomputes a small base and derives the rest:
+
+* **T-distributive** roll-up over time: the *non-distinct* (ALL) union
+  aggregate of an interval is the pointwise weight sum of the per-time-
+  point aggregates.  (Distinct aggregates are *not* T-distributive —
+  distinct nodes cannot be identified across per-point summaries — and
+  are rejected.)
+* **D-distributive** roll-up over attributes: the aggregate on a subset
+  of attributes is derived from the superset aggregate by grouping the
+  projected tuples and summing weights
+  (:meth:`repro.core.AggregateGraph.rollup`).  For DIST aggregates this
+  is exact per time point (each node carries one tuple at one time
+  point); for ALL aggregates it is exact over any interval.
+
+:class:`MaterializedStore` owns the per-time-point cache and exposes the
+derivations; the Figure 10/11 benchmarks compare them against
+from-scratch aggregation.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Hashable, Iterable, Sequence
+from dataclasses import dataclass
+
+from ..core import AggregateGraph, TemporalGraph, aggregate
+
+__all__ = ["MaterializedStore", "StoreStats"]
+
+
+@dataclass
+class StoreStats:
+    """Cache behaviour counters for one store."""
+
+    hits: int = 0
+    misses: int = 0
+    derived: int = 0
+
+    @property
+    def lookups(self) -> int:
+        return self.hits + self.misses
+
+
+class MaterializedStore:
+    """A cache of per-time-point aggregates with derivation rules.
+
+    Parameters
+    ----------
+    graph:
+        The temporal graph whose aggregates are materialized.
+
+    The cache key is ``(time point, attribute tuple, distinct)``.  Use
+    :meth:`precompute` to warm the cache up front (what the paper calls
+    "precomputing aggregations on the unit of time") or let lookups fill
+    it lazily.
+    """
+
+    def __init__(self, graph: TemporalGraph) -> None:
+        self._graph = graph
+        self._cache: dict[
+            tuple[Hashable, tuple[str, ...], bool], AggregateGraph
+        ] = {}
+        self.stats = StoreStats()
+
+    @property
+    def graph(self) -> TemporalGraph:
+        return self._graph
+
+    def __len__(self) -> int:
+        return len(self._cache)
+
+    # ------------------------------------------------------------------
+    # Base materialization
+    # ------------------------------------------------------------------
+
+    def precompute(
+        self,
+        attributes: Sequence[str],
+        distinct: bool = False,
+        times: Iterable[Hashable] | None = None,
+    ) -> None:
+        """Materialize the aggregate of every time point up front."""
+        for time in times if times is not None else self._graph.timeline.labels:
+            self.timepoint_aggregate(attributes, time, distinct=distinct)
+
+    def timepoint_aggregate(
+        self,
+        attributes: Sequence[str],
+        time: Hashable,
+        distinct: bool = False,
+    ) -> AggregateGraph:
+        """The aggregate of a single time point, cached."""
+        key = (time, tuple(attributes), distinct)
+        cached = self._cache.get(key)
+        if cached is not None:
+            self.stats.hits += 1
+            return cached
+        self.stats.misses += 1
+        result = aggregate(
+            self._graph, attributes, distinct=distinct, times=[time]
+        )
+        self._cache[key] = result
+        return result
+
+    # ------------------------------------------------------------------
+    # T-distributive derivation (time roll-up)
+    # ------------------------------------------------------------------
+
+    def union_aggregate(
+        self,
+        attributes: Sequence[str],
+        times: Iterable[Hashable],
+    ) -> AggregateGraph:
+        """The non-distinct union aggregate of an interval, derived by
+        summing materialized per-point aggregates (Section 4.3).
+
+        Equivalent to ``aggregate(union(graph, times), attributes,
+        distinct=False)`` but touches only the cache — this equality is
+        what the Figure 10 benchmark (and its correctness test) checks.
+        """
+        times = tuple(times)
+        if not times:
+            raise ValueError("union_aggregate requires at least one time point")
+        total: AggregateGraph | None = None
+        for time in times:
+            point = self.timepoint_aggregate(attributes, time, distinct=False)
+            total = point if total is None else total.combine(point)
+            self.stats.derived += 1
+        assert total is not None
+        return total
+
+    # ------------------------------------------------------------------
+    # D-distributive derivation (attribute roll-up)
+    # ------------------------------------------------------------------
+
+    def rollup_aggregate(
+        self,
+        superset: Sequence[str],
+        subset: Sequence[str],
+        time: Hashable,
+        distinct: bool = True,
+    ) -> AggregateGraph:
+        """The aggregate on ``subset`` derived from the materialized
+        aggregate on ``superset`` at one time point (Section 4.3, the
+        Figure 11 experiment)."""
+        base = self.timepoint_aggregate(superset, time, distinct=distinct)
+        self.stats.derived += 1
+        return base.rollup(subset)

@@ -1,0 +1,32 @@
+"""Graph OLAP over temporal graphs: cuboid lattice, slice/dice,
+partially materialized cubes and greedy view selection (Section 4.3 and
+the graph-OLAP lineage of the paper's related work)."""
+
+from .cube import CubeStats, TemporalGraphCube
+from .lattice import (
+    all_cuboids,
+    canonical,
+    children,
+    parents,
+    smallest_superset,
+    supersets_of,
+)
+from .operations import dice_aggregate, drill_across, slice_aggregate
+from .views import ViewSelection, estimate_cuboid_sizes, greedy_view_selection
+
+__all__ = [
+    "TemporalGraphCube",
+    "CubeStats",
+    "canonical",
+    "all_cuboids",
+    "parents",
+    "children",
+    "supersets_of",
+    "smallest_superset",
+    "slice_aggregate",
+    "dice_aggregate",
+    "drill_across",
+    "estimate_cuboid_sizes",
+    "greedy_view_selection",
+    "ViewSelection",
+]

@@ -1,0 +1,269 @@
+"""A temporal graph cube: OLAP queries answered from partial
+materialization.
+
+Ties Section 4.3 together: the cube owns a
+:class:`~repro.materialize.MaterializedStore`, knows the cuboid lattice
+over its attribute dimensions and the time hierarchy over its timeline,
+and answers every cuboid query by the cheapest legal route:
+
+1. an exact materialized hit;
+2. a D-distributive roll-up from a materialized superset cuboid
+   (always legal for ALL; legal for DIST on a single time point);
+3. a T-distributive sum of per-time-point cuboids (ALL + union
+   semantics only);
+4. computing from the base temporal graph (and caching the result).
+
+``CubeStats`` records which route served each query, so the Figure
+10/11 benchmarks and the view-selection policy can observe reuse.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Hashable, Iterable, Sequence
+from dataclasses import dataclass
+from typing import Any
+
+from ..core import AggregateGraph, TemporalGraph, aggregate, union
+from ..core.granularity import TimeHierarchy
+from .lattice import Cuboid, canonical, smallest_superset
+from .operations import dice_aggregate, slice_aggregate
+
+__all__ = ["TemporalGraphCube", "CubeStats"]
+
+
+@dataclass
+class CubeStats:
+    """Which route answered each cuboid query."""
+
+    exact_hits: int = 0
+    attribute_rollups: int = 0
+    time_rollups: int = 0
+    base_computations: int = 0
+
+    @property
+    def queries(self) -> int:
+        return (
+            self.exact_hits
+            + self.attribute_rollups
+            + self.time_rollups
+            + self.base_computations
+        )
+
+
+class TemporalGraphCube:
+    """OLAP cube over a temporal attributed graph.
+
+    Parameters
+    ----------
+    graph:
+        The base temporal graph.
+    dimensions:
+        The attribute dimensions (defaults to all of the graph's
+        attributes).
+    hierarchy:
+        Optional time hierarchy; coarse unit labels then become valid
+        ``times`` arguments alongside base labels.
+    """
+
+    def __init__(
+        self,
+        graph: TemporalGraph,
+        dimensions: Sequence[str] | None = None,
+        hierarchy: TimeHierarchy | None = None,
+    ) -> None:
+        self.graph = graph
+        self.dimensions = tuple(
+            dimensions if dimensions is not None else graph.attribute_names
+        )
+        for dim in self.dimensions:
+            graph.is_static(dim)  # validates the name
+        self.hierarchy = hierarchy
+        self.stats = CubeStats()
+        self._cache: dict[
+            tuple[Cuboid, tuple[Hashable, ...], bool], AggregateGraph
+        ] = {}
+
+    # ------------------------------------------------------------------
+    # Time resolution
+    # ------------------------------------------------------------------
+
+    def _resolve_times(
+        self, times: Iterable[Hashable] | None
+    ) -> tuple[Hashable, ...]:
+        """Expand unit labels through the hierarchy; default to the
+        whole timeline."""
+        if times is None:
+            return self.graph.timeline.labels
+        resolved: list[Hashable] = []
+        for label in times:
+            if label in self.graph.timeline:
+                resolved.append(label)
+            elif self.hierarchy is not None and label in self.hierarchy.unit_labels:
+                resolved.extend(
+                    m
+                    for m in self.hierarchy.members(label)
+                    if m in self.graph.timeline
+                )
+            else:
+                raise KeyError(f"unknown time point or unit: {label!r}")
+        return tuple(dict.fromkeys(resolved))
+
+    # ------------------------------------------------------------------
+    # Materialization
+    # ------------------------------------------------------------------
+
+    def materialize(
+        self,
+        attributes: Sequence[str],
+        times: Iterable[Hashable] | None = None,
+        distinct: bool = False,
+        per_time_point: bool = False,
+    ) -> None:
+        """Precompute one cuboid (optionally one per base time point).
+
+        Per-time-point materialization is the paper's recommended base
+        (it feeds the T-distributive route); whole-window cuboids feed
+        exact hits and attribute roll-ups.
+        """
+        cuboid = canonical(attributes, self.dimensions)
+        window = self._resolve_times(times)
+        if per_time_point:
+            for t in window:
+                self._compute_and_cache(cuboid, (t,), distinct)
+        else:
+            self._compute_and_cache(cuboid, window, distinct)
+
+    def _compute_and_cache(
+        self, cuboid: Cuboid, window: tuple[Hashable, ...], distinct: bool
+    ) -> AggregateGraph:
+        key = (cuboid, window, distinct)
+        if key not in self._cache:
+            base = (
+                aggregate(self.graph, list(cuboid), distinct=distinct, times=window)
+                if len(window) == 1
+                else aggregate(
+                    union(self.graph, window), list(cuboid), distinct=distinct
+                )
+            )
+            self._cache[key] = base
+        return self._cache[key]
+
+    @property
+    def materialized_count(self) -> int:
+        return len(self._cache)
+
+    # ------------------------------------------------------------------
+    # Querying
+    # ------------------------------------------------------------------
+
+    def cuboid(
+        self,
+        attributes: Sequence[str],
+        times: Iterable[Hashable] | None = None,
+        distinct: bool = False,
+    ) -> AggregateGraph:
+        """The aggregate graph for an attribute set over a time window.
+
+        Served from the cheapest route available (see module docs); the
+        result is cached, so repeated queries are exact hits.
+        """
+        cuboid = canonical(attributes, self.dimensions)
+        window = self._resolve_times(times)
+        key = (cuboid, window, distinct)
+
+        cached = self._cache.get(key)
+        if cached is not None:
+            self.stats.exact_hits += 1
+            return cached
+
+        # Route 2: attribute roll-up from a materialized superset over
+        # the same window.  DIST roll-ups are only exact on one point.
+        if not distinct or len(window) == 1:
+            candidates = [
+                c
+                for (c, w, d) in self._cache
+                if w == window and d == distinct and set(cuboid) < set(c)
+            ]
+            best = smallest_superset(cuboid, candidates)
+            if best is not None:
+                result = self._cache[(best, window, distinct)].rollup(cuboid)
+                self._cache[key] = result
+                self.stats.attribute_rollups += 1
+                return result
+
+        # Route 3: T-distributive sum of per-point cuboids (ALL only).
+        if not distinct and len(window) > 1:
+            points = [(cuboid, (t,), False) for t in window]
+            if all(p in self._cache for p in points):
+                total: AggregateGraph | None = None
+                for p in points:
+                    part = self._cache[p]
+                    total = part if total is None else total.combine(part)
+                assert total is not None
+                self._cache[key] = total
+                self.stats.time_rollups += 1
+                return total
+
+        # Route 4: compute from the base graph.
+        self.stats.base_computations += 1
+        return self._compute_and_cache(cuboid, window, distinct)
+
+    # ------------------------------------------------------------------
+    # OLAP verbs
+    # ------------------------------------------------------------------
+
+    def rollup(
+        self,
+        attributes: Sequence[str],
+        remove: str,
+        times: Iterable[Hashable] | None = None,
+        distinct: bool = False,
+    ) -> AggregateGraph:
+        """One roll-up step: drop ``remove`` from the attribute set."""
+        cuboid = canonical(attributes, self.dimensions)
+        if remove not in cuboid:
+            raise KeyError(f"{remove!r} is not part of {cuboid!r}")
+        target = tuple(a for a in cuboid if a != remove)
+        if not target:
+            raise ValueError("cannot roll up the last attribute away")
+        return self.cuboid(target, times=times, distinct=distinct)
+
+    def drill_down(
+        self,
+        attributes: Sequence[str],
+        add: str,
+        times: Iterable[Hashable] | None = None,
+        distinct: bool = False,
+    ) -> AggregateGraph:
+        """One drill-down step: add ``add`` to the attribute set."""
+        cuboid = canonical(attributes, self.dimensions)
+        if add in cuboid:
+            raise KeyError(f"{add!r} is already part of {cuboid!r}")
+        return self.cuboid(
+            canonical(set(cuboid) | {add}, self.dimensions),
+            times=times,
+            distinct=distinct,
+        )
+
+    def slice(
+        self,
+        attributes: Sequence[str],
+        attribute: str,
+        value: Any,
+        times: Iterable[Hashable] | None = None,
+        distinct: bool = False,
+    ) -> AggregateGraph:
+        """Slice: fix one attribute to a value and drop it."""
+        base = self.cuboid(attributes, times=times, distinct=distinct)
+        return slice_aggregate(base, attribute, value)
+
+    def dice(
+        self,
+        attributes: Sequence[str],
+        selections: dict[str, Iterable[Any]],
+        times: Iterable[Hashable] | None = None,
+        distinct: bool = False,
+    ) -> AggregateGraph:
+        """Dice: restrict attributes to value sets, keeping the layout."""
+        base = self.cuboid(attributes, times=times, distinct=distinct)
+        return dice_aggregate(base, selections)

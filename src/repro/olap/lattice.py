@@ -1,0 +1,99 @@
+"""The attribute-set (cuboid) lattice.
+
+Section 4.3 frames full materialization as computing "all possible
+combinations of dimensions" — the classic data-cube lattice whose
+elements are attribute subsets, ordered by inclusion.  COUNT aggregation
+is D-distributive, so any cuboid can be served from any materialized
+*superset* cuboid by rolling up.  This module provides the lattice
+bookkeeping the cube and the view-selection policy share.
+"""
+
+from __future__ import annotations
+
+import itertools
+from collections.abc import Iterable, Sequence
+
+__all__ = [
+    "canonical",
+    "all_cuboids",
+    "parents",
+    "children",
+    "supersets_of",
+    "smallest_superset",
+]
+
+Cuboid = tuple[str, ...]
+
+
+def canonical(attributes: Iterable[str], dimensions: Sequence[str]) -> Cuboid:
+    """The canonical form of an attribute set: dimension order, deduped.
+
+    Raises ``KeyError`` for attributes outside the cube's dimensions so
+    a typo fails at the boundary rather than producing an empty cuboid.
+    """
+    wanted = set(attributes)
+    unknown = wanted - set(dimensions)
+    if unknown:
+        raise KeyError(
+            f"attributes {sorted(unknown)!r} are not cube dimensions "
+            f"{list(dimensions)!r}"
+        )
+    return tuple(d for d in dimensions if d in wanted)
+
+
+def all_cuboids(dimensions: Sequence[str]) -> list[Cuboid]:
+    """Every non-empty attribute subset, most aggregated first.
+
+    The apex (all dimensions) comes last; single-attribute cuboids come
+    first.  2^n - 1 entries, so keep ``n`` modest (the paper's datasets
+    have 2 and 4 dimensions).
+    """
+    cuboids: list[Cuboid] = []
+    for size in range(1, len(dimensions) + 1):
+        for combo in itertools.combinations(dimensions, size):
+            cuboids.append(combo)
+    return cuboids
+
+
+def parents(cuboid: Cuboid, dimensions: Sequence[str]) -> list[Cuboid]:
+    """Cuboids one attribute *larger* (the drill-down targets)."""
+    present = set(cuboid)
+    result = []
+    for dim in dimensions:
+        if dim not in present:
+            result.append(canonical(present | {dim}, dimensions))
+    return result
+
+
+def children(cuboid: Cuboid) -> list[Cuboid]:
+    """Cuboids one attribute *smaller* (the roll-up targets)."""
+    if len(cuboid) <= 1:
+        return []
+    return [
+        tuple(a for a in cuboid if a != removed) for removed in cuboid
+    ]
+
+
+def supersets_of(cuboid: Cuboid, candidates: Iterable[Cuboid]) -> list[Cuboid]:
+    """Candidates that contain ``cuboid`` (and so can serve it)."""
+    wanted = set(cuboid)
+    return [c for c in candidates if wanted <= set(c)]
+
+
+def smallest_superset(
+    cuboid: Cuboid,
+    candidates: Iterable[Cuboid],
+    size_of: dict[Cuboid, float] | None = None,
+) -> Cuboid | None:
+    """The cheapest materialized cuboid that can serve ``cuboid``.
+
+    With ``size_of`` given, cheapest means smallest estimated size;
+    otherwise, fewest attributes.  Returns ``None`` when no candidate
+    qualifies.
+    """
+    options = supersets_of(cuboid, candidates)
+    if not options:
+        return None
+    if size_of is not None:
+        return min(options, key=lambda c: (size_of.get(c, float("inf")), len(c)))
+    return min(options, key=len)

@@ -1,0 +1,113 @@
+"""OLAP operations over aggregate graphs: slice, dice, drill-across.
+
+Roll-up lives on :class:`~repro.core.AggregateGraph` itself
+(``rollup``); slice and dice are selections on the aggregate's key
+space, as in graph OLAP systems (GraphCube et al., the paper's related
+work).  An aggregate edge survives a slice/dice only if *both* endpoint
+tuples satisfy the selection, keeping the result a well-formed aggregate
+graph over the restricted key space.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Mapping
+from typing import Any
+
+from ..core import AggregateGraph
+
+__all__ = ["slice_aggregate", "dice_aggregate", "drill_across"]
+
+
+def _position(aggregate: AggregateGraph, attribute: str) -> int:
+    try:
+        return aggregate.attributes.index(attribute)
+    except ValueError:
+        raise KeyError(
+            f"attribute {attribute!r} is not part of this aggregate "
+            f"({aggregate.attributes!r})"
+        ) from None
+
+
+def dice_aggregate(
+    aggregate: AggregateGraph,
+    selections: Mapping[str, Iterable[Any]],
+) -> AggregateGraph:
+    """Keep aggregate entities whose values fall in the given sets.
+
+    ``selections`` maps attribute name to the allowed values; attributes
+    not mentioned are unrestricted.  The diced aggregate keeps the same
+    attribute tuple layout.
+    """
+    allowed = {
+        _position(aggregate, name): set(values)
+        for name, values in selections.items()
+    }
+
+    def keep(key: tuple[Any, ...]) -> bool:
+        return all(key[pos] in values for pos, values in allowed.items())
+
+    node_weights = {
+        key: weight for key, weight in aggregate.node_weights.items() if keep(key)
+    }
+    edge_weights = {
+        (source, target): weight
+        for (source, target), weight in aggregate.edge_weights.items()
+        if keep(source) and keep(target)
+    }
+    return AggregateGraph(
+        aggregate.attributes, node_weights, edge_weights,
+        distinct=aggregate.distinct,
+    )
+
+
+def slice_aggregate(
+    aggregate: AggregateGraph, attribute: str, value: Any
+) -> AggregateGraph:
+    """Fix one attribute to a single value and drop it from the keys.
+
+    The classic OLAP slice: ``slice(gender='f')`` of a
+    (gender, publications) aggregate yields a publications-keyed
+    aggregate of the female population only.
+    """
+    position = _position(aggregate, attribute)
+    remaining = tuple(a for a in aggregate.attributes if a != attribute)
+
+    def project(key: tuple[Any, ...]) -> tuple[Any, ...]:
+        return tuple(v for i, v in enumerate(key) if i != position)
+
+    node_weights: dict[tuple[Any, ...], int] = {}
+    for key, weight in aggregate.node_weights.items():
+        if key[position] != value:
+            continue
+        projected = project(key)
+        node_weights[projected] = node_weights.get(projected, 0) + weight
+    edge_weights: dict[tuple[tuple[Any, ...], tuple[Any, ...]], int] = {}
+    for (source, target), weight in aggregate.edge_weights.items():
+        if source[position] != value or target[position] != value:
+            continue
+        projected = (project(source), project(target))
+        edge_weights[projected] = edge_weights.get(projected, 0) + weight
+    return AggregateGraph(
+        remaining, node_weights, edge_weights, distinct=aggregate.distinct
+    )
+
+
+def drill_across(
+    left: AggregateGraph, right: AggregateGraph
+) -> dict[tuple[Any, ...], tuple[int, int]]:
+    """Compare two aggregates over the same attributes key by key.
+
+    Returns ``key -> (left weight, right weight)`` for the union of
+    their aggregate nodes — the "queries between aggregated graphs"
+    operation GraphCube adds to OLAP, useful for before/after
+    comparisons (e.g. the diversity-action scenario of Section 1).
+    """
+    if left.attributes != right.attributes:
+        raise ValueError(
+            f"cannot drill across aggregates on {left.attributes!r} and "
+            f"{right.attributes!r}"
+        )
+    keys = set(left.node_weights) | set(right.node_weights)
+    return {
+        key: (left.node_weight(key), right.node_weight(key)) for key in keys
+    }

@@ -1,0 +1,134 @@
+"""Greedy materialized-view selection over the cuboid lattice.
+
+Section 4.3 opens with the observation that materializing *every*
+aggregation is "quite unrealistic as it requires excessive storage
+space" and proposes partial materialization.  This module implements the
+classic greedy view-selection policy (Harinarayan-Rajaraman-Ullman) for
+choosing *which* cuboids to materialize under a budget: each candidate
+view's benefit is the total query-cost reduction it brings to every
+cuboid it can serve, and views are picked greedily until the budget is
+exhausted.
+
+Cuboid sizes are estimated from the actual attribute domains of the
+graph (product of per-attribute distinct-value counts, capped by the
+number of entities), so the policy adapts to skew like MovieLens's
+21-value occupation dimension.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+from dataclasses import dataclass
+
+from ..core import TemporalGraph
+from .lattice import Cuboid, all_cuboids, supersets_of
+
+__all__ = ["estimate_cuboid_sizes", "greedy_view_selection", "ViewSelection"]
+
+
+def estimate_cuboid_sizes(
+    graph: TemporalGraph, dimensions: Sequence[str]
+) -> dict[Cuboid, float]:
+    """Estimated aggregate-node counts for every cuboid.
+
+    The size of a cuboid is min(product of its attributes' distinct
+    value counts, number of nodes) — the standard independence
+    estimate, capped because an aggregate cannot have more groups than
+    entities.
+    """
+    domain_sizes: dict[str, int] = {}
+    for name in dimensions:
+        if graph.is_static(name):
+            values = {
+                v for v in graph.static_attrs.column(name) if v is not None
+            }
+        else:
+            values = {
+                v
+                for v in graph.varying_attrs[name].values.ravel()
+                if v is not None
+            }
+        domain_sizes[name] = max(1, len(values))
+    sizes: dict[Cuboid, float] = {}
+    for cuboid in all_cuboids(dimensions):
+        product = 1.0
+        for name in cuboid:
+            product *= domain_sizes[name]
+        sizes[cuboid] = min(product, float(graph.n_nodes))
+    return sizes
+
+
+@dataclass(frozen=True)
+class ViewSelection:
+    """The outcome of a greedy selection run."""
+
+    selected: tuple[Cuboid, ...]
+    total_benefit: float
+    query_costs: dict[Cuboid, float]
+
+    def serves(self, cuboid: Cuboid) -> Cuboid | None:
+        """The cheapest selected view able to serve a cuboid, if any."""
+        options = supersets_of(cuboid, self.selected)
+        if not options:
+            return None
+        return min(options, key=lambda c: self.query_costs[c])
+
+
+def greedy_view_selection(
+    graph: TemporalGraph,
+    dimensions: Sequence[str],
+    budget: int,
+    always_include_apex: bool = True,
+) -> ViewSelection:
+    """Choose up to ``budget`` cuboids to materialize.
+
+    The apex cuboid (all dimensions) is included first by default — it
+    can serve every query, bounding worst-case cost — then views are
+    added greedily by total benefit: for each cuboid ``q``, its current
+    cost is the size of the smallest selected superset (or the base
+    graph size if none); materializing view ``v`` lowers the cost of
+    every ``q ⊆ v`` to ``size(v)`` when that is an improvement.
+    """
+    if budget < 1:
+        raise ValueError("budget must allow at least one view")
+    sizes = estimate_cuboid_sizes(graph, dimensions)
+    lattice = all_cuboids(dimensions)
+    base_cost = float(graph.n_nodes) + float(graph.n_edges)
+
+    selected: list[Cuboid] = []
+    costs: dict[Cuboid, float] = {q: base_cost for q in lattice}
+
+    def benefit(view: Cuboid) -> float:
+        gain = 0.0
+        view_size = sizes[view]
+        wanted = set(view)
+        for q in lattice:
+            if set(q) <= wanted and costs[q] > view_size:
+                gain += costs[q] - view_size
+        return gain
+
+    def select(view: Cuboid) -> float:
+        gain = benefit(view)
+        selected.append(view)
+        view_size = sizes[view]
+        wanted = set(view)
+        for q in lattice:
+            if set(q) <= wanted and costs[q] > view_size:
+                costs[q] = view_size
+        return gain
+
+    total = 0.0
+    apex = tuple(dimensions)
+    if always_include_apex and budget >= 1:
+        total += select(apex)
+    while len(selected) < budget:
+        remaining = [v for v in lattice if v not in selected]
+        if not remaining:
+            break
+        best = max(remaining, key=benefit)
+        if benefit(best) <= 0:
+            break
+        total += select(best)
+    return ViewSelection(
+        selected=tuple(selected), total_benefit=total, query_costs=costs
+    )

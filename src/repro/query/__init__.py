@@ -1,0 +1,28 @@
+"""A small declarative query language over temporal attributed graphs
+(the T-GQL / TGraph lineage of the paper's related work)."""
+
+from .ast import (
+    AggregateExpr,
+    EvolutionExpr,
+    ExploreExpr,
+    OperatorExpr,
+    WindowExpr,
+)
+from .evaluator import QueryBindingError, bind_window, evaluate, run_query
+from .lexer import QuerySyntaxError, tokenize
+from .parser import parse
+
+__all__ = [
+    "run_query",
+    "evaluate",
+    "parse",
+    "tokenize",
+    "bind_window",
+    "QuerySyntaxError",
+    "QueryBindingError",
+    "WindowExpr",
+    "OperatorExpr",
+    "AggregateExpr",
+    "EvolutionExpr",
+    "ExploreExpr",
+]

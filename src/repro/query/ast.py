@@ -1,0 +1,131 @@
+"""Abstract syntax of the GraphTempo query language.
+
+Every node is a frozen dataclass; the evaluator
+(:mod:`repro.query.evaluator`) pattern-matches on these types.  Time
+labels are stored as written (ints or strings) — binding against a
+graph's timeline happens at evaluation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any
+
+def _value_text(value: Any) -> str:
+    """Render a value as query syntax (quote anything non-trivial)."""
+    if isinstance(value, int):
+        return str(value)
+    text = str(value)
+    if text.isidentifier():
+        return text
+    return f"'{text}'"
+
+
+__all__ = [
+    "WindowExpr",
+    "OperatorExpr",
+    "AggregateExpr",
+    "EvolutionExpr",
+    "ExploreExpr",
+    "QueryExpr",
+]
+
+
+@dataclass(frozen=True)
+class WindowExpr:
+    """A time window: a single point or an inclusive span."""
+
+    start: Any
+    stop: Any | None = None
+
+    @property
+    def is_point(self) -> bool:
+        return self.stop is None
+
+    def __str__(self) -> str:
+        if self.is_point:
+            return f"[{_value_text(self.start)}]"
+        return f"[{_value_text(self.start)}..{_value_text(self.stop)}]"
+
+
+@dataclass(frozen=True)
+class OperatorExpr:
+    """A temporal operator application.
+
+    ``name`` is one of ``project``, ``union``, ``intersection``,
+    ``difference``; ``windows`` holds one window (project, single-window
+    union) or two.
+    """
+
+    name: str
+    windows: tuple[WindowExpr, ...]
+
+    def __str__(self) -> str:
+        return f"{self.name} " + ", ".join(str(w) for w in self.windows)
+
+
+@dataclass(frozen=True)
+class AggregateExpr:
+    """``aggregate <attrs> [distinct|all] over <operator>``."""
+
+    attributes: tuple[str, ...]
+    distinct: bool
+    source: OperatorExpr
+
+    def __str__(self) -> str:
+        mode = "distinct" if self.distinct else "all"
+        return (
+            f"aggregate {', '.join(self.attributes)} {mode} over {self.source}"
+        )
+
+
+@dataclass(frozen=True)
+class EvolutionExpr:
+    """``evolution <old window> -> <new window> by <attrs>``."""
+
+    old: WindowExpr
+    new: WindowExpr
+    attributes: tuple[str, ...]
+
+    def __str__(self) -> str:
+        return f"evolution {self.old} -> {self.new} by {', '.join(self.attributes)}"
+
+
+@dataclass(frozen=True)
+class ExploreExpr:
+    """``explore <event> [minimal|maximal] [extend old|new] k <n>
+    [on nodes|edges] [by <attrs> [key <tuple> [-> <tuple>]]]``."""
+
+    event: str
+    goal: str
+    extend: str
+    k: int
+    entity: str
+    attributes: tuple[str, ...]
+    key: Any
+
+    def __str__(self) -> str:
+        """Render back into valid query syntax (round-trips via parse)."""
+        parts = [
+            f"explore {self.event} {self.goal} extend {self.extend} k {self.k}",
+            f"on {self.entity}",
+        ]
+        if self.attributes:
+            parts.append(f"by {', '.join(self.attributes)}")
+        if self.key is not None:
+            if self.entity == "edges":
+                source, target = self.key
+                parts.append(
+                    "key "
+                    + ", ".join(_value_text(v) for v in source)
+                    + " -> "
+                    + ", ".join(_value_text(v) for v in target)
+                )
+            else:
+                parts.append(
+                    "key " + ", ".join(_value_text(v) for v in self.key)
+                )
+        return " ".join(parts)
+
+
+QueryExpr = OperatorExpr | AggregateExpr | EvolutionExpr | ExploreExpr

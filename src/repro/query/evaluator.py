@@ -1,0 +1,128 @@
+"""Evaluation of parsed queries against a temporal graph.
+
+:func:`run_query` binds time labels against the graph's timeline (an
+integer label written in the query matches an integer time point; a
+quoted/bare word matches a string label), dispatches on the AST node
+type and returns the natural result object:
+
+=================  ======================================
+query              result
+=================  ======================================
+operator           :class:`~repro.core.TemporalGraph`
+aggregate          :class:`~repro.core.AggregateGraph`
+evolution          :class:`~repro.core.EvolutionAggregate`
+explore            :class:`~repro.exploration.ExplorationResult`
+=================  ======================================
+"""
+
+from __future__ import annotations
+
+from collections.abc import Hashable
+from typing import Any
+
+from ..core import (
+    TemporalGraph,
+    aggregate,
+    aggregate_evolution,
+    difference,
+    intersection,
+    project,
+    union,
+)
+from ..exploration import EntityKind, EventType, ExtendSide, Goal, explore
+from .ast import (
+    AggregateExpr,
+    EvolutionExpr,
+    ExploreExpr,
+    OperatorExpr,
+    QueryExpr,
+    WindowExpr,
+)
+from .parser import parse
+
+__all__ = ["run_query", "evaluate", "bind_window", "QueryBindingError"]
+
+
+class QueryBindingError(KeyError):
+    """A query referenced a time point or attribute the graph lacks."""
+
+    def __str__(self) -> str:
+        return Exception.__str__(self)
+
+
+def _bind_point(graph: TemporalGraph, label: Any) -> Hashable:
+    """Match a written label against the timeline, trying str fallback."""
+    if label in graph.timeline:
+        return label
+    as_text = str(label)
+    if as_text in graph.timeline:
+        return as_text
+    raise QueryBindingError(
+        f"time point {label!r} is not on the graph's timeline"
+    )
+
+
+def bind_window(graph: TemporalGraph, window: WindowExpr) -> tuple[Hashable, ...]:
+    """Resolve a window expression to concrete time labels."""
+    start = _bind_point(graph, window.start)
+    if window.is_point:
+        return (start,)
+    stop = _bind_point(graph, window.stop)
+    return graph.timeline.span(start, stop)
+
+
+def _evaluate_operator(graph: TemporalGraph, expr: OperatorExpr) -> TemporalGraph:
+    windows = [bind_window(graph, w) for w in expr.windows]
+    if expr.name == "project":
+        if len(windows) == 1:
+            return project(graph, windows[0])
+        return project(graph, windows[0] + windows[1])
+    if expr.name == "union":
+        if len(windows) == 1:
+            return union(graph, windows[0])
+        return union(graph, windows[0], windows[1])
+    if expr.name == "intersection":
+        return intersection(graph, windows[0], windows[1])
+    return difference(graph, windows[0], windows[1])
+
+
+def evaluate(graph: TemporalGraph, expr: QueryExpr) -> Any:
+    """Evaluate a parsed query expression against a graph."""
+    if isinstance(expr, OperatorExpr):
+        return _evaluate_operator(graph, expr)
+    if isinstance(expr, AggregateExpr):
+        source = _evaluate_operator(graph, expr.source)
+        return aggregate(source, list(expr.attributes), distinct=expr.distinct)
+    if isinstance(expr, EvolutionExpr):
+        return aggregate_evolution(
+            graph,
+            bind_window(graph, expr.old),
+            bind_window(graph, expr.new),
+            list(expr.attributes),
+        )
+    if isinstance(expr, ExploreExpr):
+        return explore(
+            graph,
+            EventType(expr.event),
+            Goal(expr.goal),
+            ExtendSide(expr.extend),
+            expr.k,
+            entity=EntityKind(expr.entity),
+            attributes=list(expr.attributes),
+            key=expr.key,
+        )
+    raise TypeError(f"unknown query expression: {expr!r}")
+
+
+def run_query(graph: TemporalGraph, text: str) -> Any:
+    """Parse and evaluate one query string.
+
+    Examples
+    --------
+    >>> from repro.datasets import paper_example
+    >>> g = paper_example()
+    >>> agg = run_query(g, "aggregate gender distinct over union [t0], [t1]")
+    >>> agg.node_weight(("f",))
+    3
+    """
+    return evaluate(graph, parse(text))

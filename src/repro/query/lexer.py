@@ -1,0 +1,88 @@
+"""Tokenizer for the GraphTempo query language.
+
+The language is deliberately tiny — a readable, typed surface over the
+library for interactive use (see :mod:`repro.query.parser` for the
+grammar).  The lexer produces a flat token stream; all keyword
+recognition happens in the parser so attribute names may collide with
+keywords when quoted.
+
+Token kinds:
+
+``WORD``     bare identifiers / keywords (``union``, ``gender``)
+``NUMBER``   integer literals (years, thresholds)
+``STRING``   single- or double-quoted literals (``'May'``)
+``PUNCT``    one of ``[ ] ( ) , ; ->`` and ``..``
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["Token", "QuerySyntaxError", "tokenize"]
+
+
+class QuerySyntaxError(ValueError):
+    """The query text could not be tokenized or parsed."""
+
+
+@dataclass(frozen=True)
+class Token:
+    """One lexical token with its source position (for error messages)."""
+
+    kind: str  # WORD | NUMBER | STRING | PUNCT | END
+    text: str
+    position: int
+
+    def __repr__(self) -> str:
+        return f"Token({self.kind}, {self.text!r}@{self.position})"
+
+
+_PUNCT_TWO = ("->", "..")
+_PUNCT_ONE = "[](),;"
+
+
+def tokenize(text: str) -> list[Token]:
+    """Split query text into tokens; raises on unknown characters."""
+    tokens: list[Token] = []
+    i = 0
+    length = len(text)
+    while i < length:
+        ch = text[i]
+        if ch.isspace():
+            i += 1
+            continue
+        two = text[i : i + 2]
+        if two in _PUNCT_TWO:
+            tokens.append(Token("PUNCT", two, i))
+            i += 2
+            continue
+        if ch in _PUNCT_ONE:
+            tokens.append(Token("PUNCT", ch, i))
+            i += 1
+            continue
+        if ch in "'\"":
+            end = text.find(ch, i + 1)
+            if end < 0:
+                raise QuerySyntaxError(
+                    f"unterminated string starting at position {i}"
+                )
+            tokens.append(Token("STRING", text[i + 1 : end], i))
+            i = end + 1
+            continue
+        if ch.isdigit() or (ch == "-" and i + 1 < length and text[i + 1].isdigit()):
+            j = i + 1
+            while j < length and text[j].isdigit():
+                j += 1
+            tokens.append(Token("NUMBER", text[i:j], i))
+            i = j
+            continue
+        if ch.isalpha() or ch == "_":
+            j = i + 1
+            while j < length and (text[j].isalnum() or text[j] == "_"):
+                j += 1
+            tokens.append(Token("WORD", text[i:j], i))
+            i = j
+            continue
+        raise QuerySyntaxError(f"unexpected character {ch!r} at position {i}")
+    tokens.append(Token("END", "", length))
+    return tokens

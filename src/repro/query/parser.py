@@ -1,0 +1,223 @@
+"""Recursive-descent parser for the GraphTempo query language.
+
+Grammar (EBNF; keywords case-insensitive, attribute/time labels as
+written)::
+
+    query      = operator | aggregate | evolution | explore ;
+    operator   = op_name window [ "," window ] ;
+    op_name    = "project" | "union" | "intersection" | "difference" ;
+    aggregate  = "aggregate" attrs [ "distinct" | "all" ] "over" operator ;
+    evolution  = "evolution" window "->" window "by" attrs ;
+    explore    = "explore" event [ goal ] [ "extend" side ] "k" NUMBER
+                 [ "on" entity ] [ "by" attrs [ "key" key ] ] ;
+    event      = "stability" | "growth" | "shrinkage" ;
+    goal       = "minimal" | "maximal" ;
+    side       = "old" | "new" ;
+    entity     = "nodes" | "edges" ;
+    attrs      = NAME { "," NAME } ;
+    key        = tuple [ "->" tuple ] ;
+    tuple      = value { "," value } ;
+    window     = "[" point [ ".." point ] "]" ;
+    point      = NUMBER | STRING | NAME ;
+
+Examples::
+
+    union [2000..2003], [2010]
+    aggregate gender, publications distinct over union [t0], [t1]
+    evolution [2000..2009] -> [2010] by gender
+    explore growth minimal extend new k 10 by gender key f -> f
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from .ast import (
+    AggregateExpr,
+    EvolutionExpr,
+    ExploreExpr,
+    OperatorExpr,
+    QueryExpr,
+    WindowExpr,
+)
+from .lexer import QuerySyntaxError, Token, tokenize
+
+__all__ = ["parse", "QuerySyntaxError"]
+
+_OPERATORS = ("project", "union", "intersection", "difference")
+_EVENTS = ("stability", "growth", "shrinkage")
+
+
+class _Parser:
+    def __init__(self, tokens: list[Token]) -> None:
+        self.tokens = tokens
+        self.index = 0
+
+    # -- token plumbing -------------------------------------------------
+
+    @property
+    def current(self) -> Token:
+        return self.tokens[self.index]
+
+    def advance(self) -> Token:
+        token = self.current
+        self.index += 1
+        return token
+
+    def fail(self, message: str) -> QuerySyntaxError:
+        token = self.current
+        return QuerySyntaxError(
+            f"{message} at position {token.position} (found {token.text!r})"
+        )
+
+    def at_word(self, *words: str) -> bool:
+        return (
+            self.current.kind == "WORD"
+            and self.current.text.lower() in words
+        )
+
+    def expect_word(self, *words: str) -> str:
+        if not self.at_word(*words):
+            raise self.fail(f"expected one of {words!r}")
+        return self.advance().text.lower()
+
+    def expect_punct(self, text: str) -> None:
+        if not (self.current.kind == "PUNCT" and self.current.text == text):
+            raise self.fail(f"expected {text!r}")
+        self.advance()
+
+    def at_punct(self, text: str) -> bool:
+        return self.current.kind == "PUNCT" and self.current.text == text
+
+    # -- grammar --------------------------------------------------------
+
+    def parse_query(self) -> QueryExpr:
+        if self.at_word(*_OPERATORS):
+            result: QueryExpr = self.parse_operator()
+        elif self.at_word("aggregate"):
+            result = self.parse_aggregate()
+        elif self.at_word("evolution"):
+            result = self.parse_evolution()
+        elif self.at_word("explore"):
+            result = self.parse_explore()
+        else:
+            raise self.fail(
+                "expected project/union/intersection/difference/"
+                "aggregate/evolution/explore"
+            )
+        if self.current.kind != "END":
+            raise self.fail("unexpected trailing input")
+        return result
+
+    def parse_operator(self) -> OperatorExpr:
+        name = self.expect_word(*_OPERATORS)
+        windows = [self.parse_window()]
+        if self.at_punct(","):
+            self.advance()
+            windows.append(self.parse_window())
+        if name in ("intersection", "difference") and len(windows) != 2:
+            raise self.fail(f"{name} requires two windows")
+        return OperatorExpr(name, tuple(windows))
+
+    def parse_aggregate(self) -> AggregateExpr:
+        self.expect_word("aggregate")
+        attributes = self.parse_names()
+        distinct = True
+        if self.at_word("distinct", "all"):
+            distinct = self.advance().text.lower() == "distinct"
+        self.expect_word("over")
+        source = self.parse_operator()
+        return AggregateExpr(tuple(attributes), distinct, source)
+
+    def parse_evolution(self) -> EvolutionExpr:
+        self.expect_word("evolution")
+        old = self.parse_window()
+        self.expect_punct("->")
+        new = self.parse_window()
+        self.expect_word("by")
+        attributes = self.parse_names()
+        return EvolutionExpr(old, new, tuple(attributes))
+
+    def parse_explore(self) -> ExploreExpr:
+        self.expect_word("explore")
+        event = self.expect_word(*_EVENTS)
+        goal = "minimal"
+        if self.at_word("minimal", "maximal"):
+            goal = self.advance().text.lower()
+        extend = "new"
+        if self.at_word("extend"):
+            self.advance()
+            extend = self.expect_word("old", "new")
+        self.expect_word("k")
+        if self.current.kind != "NUMBER":
+            raise self.fail("expected a threshold number after 'k'")
+        k = int(self.advance().text)
+        entity = "edges"
+        if self.at_word("on"):
+            self.advance()
+            entity = self.expect_word("nodes", "edges")
+        attributes: tuple[str, ...] = ()
+        key: Any = None
+        if self.at_word("by"):
+            self.advance()
+            attributes = tuple(self.parse_names())
+            if self.at_word("key"):
+                self.advance()
+                first = tuple(self.parse_values())
+                if self.at_punct("->"):
+                    self.advance()
+                    second = tuple(self.parse_values())
+                    key = (first, second)
+                elif entity == "edges":
+                    # "key f -> f" omitted target is an error; a single
+                    # tuple on edges means source == target.
+                    key = (first, first)
+                else:
+                    key = first
+        return ExploreExpr(event, goal, extend, k, entity, attributes, key)
+
+    def parse_names(self) -> list[str]:
+        names = [self.parse_name()]
+        while self.at_punct(","):
+            self.advance()
+            # A following keyword like 'distinct' ends the list only via
+            # lookahead failure, so commas must be followed by names.
+            names.append(self.parse_name())
+        return names
+
+    def parse_name(self) -> str:
+        if self.current.kind not in ("WORD", "STRING"):
+            raise self.fail("expected an attribute name")
+        return self.advance().text
+
+    def parse_values(self) -> list[Any]:
+        values = [self.parse_value()]
+        while self.at_punct(","):
+            self.advance()
+            values.append(self.parse_value())
+        return values
+
+    def parse_value(self) -> Any:
+        token = self.current
+        if token.kind == "NUMBER":
+            self.advance()
+            return int(token.text)
+        if token.kind in ("WORD", "STRING"):
+            self.advance()
+            return token.text
+        raise self.fail("expected a value")
+
+    def parse_window(self) -> WindowExpr:
+        self.expect_punct("[")
+        start = self.parse_value()
+        stop = None
+        if self.at_punct(".."):
+            self.advance()
+            stop = self.parse_value()
+        self.expect_punct("]")
+        return WindowExpr(start, stop)
+
+
+def parse(text: str) -> QueryExpr:
+    """Parse one query; raises :class:`QuerySyntaxError` on bad input."""
+    return _Parser(tokenize(text)).parse_query()

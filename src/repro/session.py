@@ -1,0 +1,282 @@
+"""An interactive exploration session — the framework the paper's
+conclusions announce ("we plan to develop GraphTempo into an interactive
+exploration framework that will assist users navigate large graphs and
+detect intervals and attribute groups of interest").
+
+:class:`GraphTempoSession` is a stateful facade over the whole library:
+it owns one temporal graph, a cube for cached aggregation, and exposes
+the operators, evolution, exploration (single-group and group-sweep) and
+reporting through one fluent object.  Window arguments accept base time
+labels, ``(first, last)`` span pairs, and hierarchy unit labels.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Hashable, Iterable, Sequence
+from typing import Any
+
+from .analysis import dataset_report, evolution_report, exploration_report
+from .core import (
+    AggregateGraph,
+    EvolutionAggregate,
+    TemporalGraph,
+    TimeHierarchy,
+    aggregate_evolution,
+    difference,
+    intersection,
+    project,
+    union,
+)
+from .core.granularity import coarsen
+from .exploration import (
+    EntityKind,
+    EventType,
+    ExplorationResult,
+    ExtendSide,
+    Goal,
+    GroupExplorationResult,
+    explore,
+    explore_groups,
+    suggest_threshold,
+)
+from .olap import TemporalGraphCube
+
+__all__ = ["GraphTempoSession"]
+
+#: A window argument: labels, or an inclusive (first, last) span pair.
+WindowLike = Iterable[Hashable] | tuple[Hashable, Hashable]
+
+
+class GraphTempoSession:
+    """One graph, one conversation.
+
+    Parameters
+    ----------
+    graph:
+        The temporal attributed graph to explore.
+    hierarchy:
+        Optional time hierarchy; its unit labels become usable wherever
+        a window is expected, and :meth:`zoom_out` uses it.
+
+    Examples
+    --------
+    >>> from repro.datasets import paper_example
+    >>> session = GraphTempoSession(paper_example())
+    >>> agg = session.aggregate(["gender"], window=("t0", "t1"))
+    >>> agg.node_weight(("f",))
+    3
+    """
+
+    def __init__(
+        self,
+        graph: TemporalGraph,
+        hierarchy: TimeHierarchy | None = None,
+    ) -> None:
+        self.graph = graph
+        self.hierarchy = hierarchy
+        self.cube = TemporalGraphCube(graph, hierarchy=hierarchy)
+
+    # ------------------------------------------------------------------
+    # Window handling
+    # ------------------------------------------------------------------
+
+    def window(self, window: WindowLike | None) -> tuple[Hashable, ...]:
+        """Resolve a window argument to base time labels.
+
+        A 2-tuple whose elements are both timeline labels resolves as an
+        inclusive span; otherwise the argument is an iterable of labels
+        and/or hierarchy units; ``None`` is the whole timeline.
+        """
+        if window is None:
+            return self.graph.timeline.labels
+        if (
+            isinstance(window, tuple)
+            and len(window) == 2
+            and window[0] in self.graph.timeline
+            and window[1] in self.graph.timeline
+        ):
+            return self.graph.timeline.span(window[0], window[1])
+        resolved: list[Hashable] = []
+        for label in window:
+            if label in self.graph.timeline:
+                resolved.append(label)
+            elif (
+                self.hierarchy is not None
+                and label in self.hierarchy.unit_labels
+            ):
+                resolved.extend(
+                    m
+                    for m in self.hierarchy.members(label)
+                    if m in self.graph.timeline
+                )
+            else:
+                raise KeyError(f"unknown time point or unit: {label!r}")
+        return tuple(dict.fromkeys(resolved))
+
+    # ------------------------------------------------------------------
+    # Operators
+    # ------------------------------------------------------------------
+
+    def project(self, window: WindowLike) -> TemporalGraph:
+        """Time projection over a window (Definition 2.2)."""
+        return project(self.graph, self.window(window))
+
+    def union(self, first: WindowLike, second: WindowLike = ()) -> TemporalGraph:
+        """Union graph over two windows (Definition 2.3)."""
+        return union(self.graph, self.window(first), self.window(second) if second else ())
+
+    def intersection(self, first: WindowLike, second: WindowLike) -> TemporalGraph:
+        """Intersection graph over two windows (Definition 2.4)."""
+        return intersection(self.graph, self.window(first), self.window(second))
+
+    def difference(self, first: WindowLike, second: WindowLike) -> TemporalGraph:
+        """Difference graph ``first - second`` (Definition 2.5)."""
+        return difference(self.graph, self.window(first), self.window(second))
+
+    # ------------------------------------------------------------------
+    # Aggregation (cached via the cube)
+    # ------------------------------------------------------------------
+
+    def aggregate(
+        self,
+        attributes: Sequence[str],
+        window: WindowLike | None = None,
+        distinct: bool = True,
+    ) -> AggregateGraph:
+        """Aggregate over a window, served through the session cube."""
+        return self.cube.cuboid(
+            attributes, times=self.window(window), distinct=distinct
+        )
+
+    def materialize(
+        self,
+        attributes: Sequence[str],
+        distinct: bool = False,
+        per_time_point: bool = True,
+    ) -> "GraphTempoSession":
+        """Warm the cube (chainable)."""
+        self.cube.materialize(
+            attributes, distinct=distinct, per_time_point=per_time_point
+        )
+        return self
+
+    # ------------------------------------------------------------------
+    # Evolution and exploration
+    # ------------------------------------------------------------------
+
+    def evolution(
+        self,
+        old: WindowLike,
+        new: WindowLike,
+        attributes: Sequence[str],
+    ) -> EvolutionAggregate:
+        """Aggregated evolution between two windows (Definition 2.7)."""
+        return aggregate_evolution(
+            self.graph, self.window(old), self.window(new), attributes
+        )
+
+    def explore(
+        self,
+        event: EventType | str,
+        goal: Goal | str = Goal.MINIMAL,
+        extend: ExtendSide | str = ExtendSide.NEW,
+        k: int | None = None,
+        entity: EntityKind | str = EntityKind.EDGES,
+        attributes: Sequence[str] = (),
+        key: Any = None,
+    ) -> ExplorationResult:
+        """One Table-1 exploration case; enum arguments accept strings.
+
+        With ``k=None`` the threshold is initialized per Section 3.5
+        (max of consecutive-pair counts for minimal goals' seeds, which
+        guarantees a non-empty seed row, and likewise for maximal).
+        """
+        event = EventType(event) if isinstance(event, str) else event
+        goal = Goal(goal) if isinstance(goal, str) else goal
+        extend = ExtendSide(extend) if isinstance(extend, str) else extend
+        entity = EntityKind(entity) if isinstance(entity, str) else entity
+        if k is None:
+            k = suggest_threshold(
+                self.graph, event, mode="max",
+                entity=entity, attributes=attributes, key=key,
+            )
+        return explore(
+            self.graph, event, goal, extend, k,
+            entity=entity, attributes=attributes, key=key,
+        )
+
+    def explore_groups(
+        self,
+        event: EventType | str,
+        goal: Goal | str,
+        extend: ExtendSide | str,
+        k: int,
+        attributes: Sequence[str],
+        entity: EntityKind | str = EntityKind.EDGES,
+    ) -> GroupExplorationResult:
+        """Group-sweep exploration (which groups are interesting?)."""
+        event = EventType(event) if isinstance(event, str) else event
+        goal = Goal(goal) if isinstance(goal, str) else goal
+        extend = ExtendSide(extend) if isinstance(extend, str) else extend
+        entity = EntityKind(entity) if isinstance(entity, str) else entity
+        return explore_groups(
+            self.graph, event, goal, extend, k, attributes, entity=entity
+        )
+
+    # ------------------------------------------------------------------
+    # Zoom and reports
+    # ------------------------------------------------------------------
+
+    def zoom_out(self, semantics: str = "union") -> "GraphTempoSession":
+        """A new session over the hierarchy-coarsened graph."""
+        if self.hierarchy is None:
+            raise ValueError("zoom_out requires a session hierarchy")
+        return GraphTempoSession(coarsen(self.graph, self.hierarchy, semantics))
+
+    def query(self, text: str) -> Any:
+        """Run a query-language statement against the session graph.
+
+        See :mod:`repro.query.parser` for the grammar.  Example:
+        ``session.query("aggregate gender over union [t0], [t1]")``.
+        """
+        from .query import run_query
+
+        return run_query(self.graph, text)
+
+    def report(self) -> str:
+        """The dataset size report for the session graph."""
+        return dataset_report(self.graph, "session graph")
+
+    def evolution_text(
+        self,
+        old: WindowLike,
+        new: WindowLike,
+        attributes: Sequence[str],
+        min_publications: int | None = None,
+    ) -> str:
+        """A rendered Fig.-12-style evolution report."""
+        return evolution_report(
+            self.graph,
+            self.window(old),
+            self.window(new),
+            attributes,
+            min_publications=min_publications,
+        ).text
+
+    def exploration_text(
+        self,
+        event: EventType | str,
+        goal: Goal | str,
+        extend: ExtendSide | str,
+        thresholds: Sequence[int],
+        attributes: Sequence[str] = (),
+        key: Any = None,
+    ) -> str:
+        """A rendered Fig.-13/14-style exploration report."""
+        event = EventType(event) if isinstance(event, str) else event
+        goal = Goal(goal) if isinstance(goal, str) else goal
+        extend = ExtendSide(extend) if isinstance(extend, str) else extend
+        return exploration_report(
+            self.graph, event, goal, extend, thresholds,
+            attributes=attributes, key=key,
+        ).text

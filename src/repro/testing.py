@@ -1,0 +1,109 @@
+"""Public test utilities: hypothesis strategies and assertion helpers.
+
+Downstream code building on GraphTempo needs the same things this
+repository's own test suite needs — random small temporal graphs with
+every presence pattern, and tight aggregate comparisons.  Importing this
+module requires ``hypothesis`` (a test-time dependency).
+"""
+
+from __future__ import annotations
+
+import itertools
+
+import numpy as np
+from hypothesis import strategies as st
+
+from .core import AggregateGraph, TemporalGraph, Timeline
+from .frames import LabeledFrame
+
+__all__ = ["temporal_graphs", "assert_same_aggregate"]
+
+
+@st.composite
+def temporal_graphs(
+    draw: st.DrawFn,
+    min_times: int = 2,
+    max_times: int = 4,
+    min_nodes: int = 2,
+    max_nodes: int = 7,
+    max_edges: int = 8,
+) -> TemporalGraph:
+    """Strategy producing small random temporal attributed graphs.
+
+    Graphs carry one static attribute (``gender`` in {m, f}) and one
+    time-varying attribute (``level`` in 1..3), arbitrary presence
+    patterns (every node/edge exists somewhere), and directed edges
+    active only when both endpoints are.  All model invariants hold by
+    construction.
+    """
+    n_times = draw(st.integers(min_times, max_times))
+    n_nodes = draw(st.integers(min_nodes, max_nodes))
+    times = tuple(f"t{i}" for i in range(n_times))
+    node_ids = tuple(f"u{i}" for i in range(n_nodes))
+
+    presence_bits = draw(
+        st.lists(
+            st.lists(st.integers(0, 1), min_size=n_times, max_size=n_times),
+            min_size=n_nodes,
+            max_size=n_nodes,
+        )
+    )
+    presence = np.array(presence_bits, dtype=np.uint8)
+    for i in range(n_nodes):
+        if presence[i].sum() == 0:
+            presence[i, draw(st.integers(0, n_times - 1))] = 1
+
+    node_presence = LabeledFrame(node_ids, times, presence)
+    genders = draw(
+        st.lists(st.sampled_from(["m", "f"]), min_size=n_nodes, max_size=n_nodes)
+    )
+    static = LabeledFrame(
+        node_ids, ("gender",), np.array([[g] for g in genders], dtype=object)
+    )
+
+    level_values = np.full((n_nodes, n_times), None, dtype=object)
+    for i in range(n_nodes):
+        for t in range(n_times):
+            if presence[i, t]:
+                level_values[i, t] = draw(st.integers(1, 3))
+    varying = {"level": LabeledFrame(node_ids, times, level_values)}
+
+    candidate_edges = [(u, v) for u, v in itertools.permutations(node_ids, 2)]
+    chosen = draw(
+        st.lists(
+            st.sampled_from(candidate_edges),
+            unique=True,
+            max_size=min(max_edges, len(candidate_edges)),
+        )
+    )
+    edge_ids = []
+    edge_rows = []
+    node_pos = {n: i for i, n in enumerate(node_ids)}
+    for u, v in chosen:
+        allowed = presence[node_pos[u]] & presence[node_pos[v]]
+        if not allowed.any():
+            continue
+        mask_bits = draw(
+            st.lists(st.integers(0, 1), min_size=n_times, max_size=n_times)
+        )
+        row = np.array(mask_bits, dtype=np.uint8) & allowed
+        if not row.any():
+            row = allowed.copy()
+        edge_ids.append((u, v))
+        edge_rows.append(row)
+    edge_presence = LabeledFrame(
+        tuple(edge_ids),
+        times,
+        np.array(edge_rows, dtype=np.uint8).reshape(len(edge_ids), n_times),
+    )
+    return TemporalGraph(
+        Timeline(times), node_presence, edge_presence, static, varying
+    )
+
+
+def assert_same_aggregate(a: AggregateGraph, b: AggregateGraph) -> None:
+    """Assert two aggregate graphs are identical in every observable way."""
+    assert a.attributes == b.attributes, (a.attributes, b.attributes)
+    assert a.distinct == b.distinct
+    assert dict(a.node_weights) == dict(b.node_weights)
+    assert dict(a.edge_weights) == dict(b.edge_weights)

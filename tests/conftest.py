@@ -1,0 +1,57 @@
+"""Shared fixtures: the paper's example graph and small synthetic graphs."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.datasets import (
+    EvolvingGraphConfig,
+    StaticAttributeSpec,
+    VaryingAttributeSpec,
+    generate_dblp,
+    generate_evolving_graph,
+    generate_movielens,
+    paper_example,
+)
+
+
+@pytest.fixture(scope="session")
+def paper_graph():
+    """The Figure 1 / Table 2 running example."""
+    return paper_example()
+
+
+@pytest.fixture(scope="session")
+def small_dblp():
+    """A 2%-scale DBLP-like graph (fast; ~500 nodes, ~3k edges)."""
+    return generate_dblp(scale=0.02)
+
+
+@pytest.fixture(scope="session")
+def small_movielens():
+    """A 3%-scale MovieLens-like graph."""
+    return generate_movielens(scale=0.03)
+
+
+def make_tiny_graph(seed: int = 3, n_times: int = 5):
+    """A tiny, fully synthetic evolving graph for structural tests."""
+    def level(rng, node_ids, t):
+        return (node_ids % 3 + 1).astype(object)
+
+    config = EvolvingGraphConfig(
+        times=tuple(range(n_times)),
+        node_targets=(12,) * n_times,
+        edge_targets=(20,) * n_times,
+        node_survival=0.7,
+        node_return=0.3,
+        edge_repeat=0.4,
+        static_attrs=(StaticAttributeSpec("color", ("red", "blue")),),
+        varying_attrs=(VaryingAttributeSpec("level", level),),
+        seed=seed,
+    )
+    return generate_evolving_graph(config)
+
+
+@pytest.fixture()
+def tiny_graph():
+    return make_tiny_graph()

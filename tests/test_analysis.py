@@ -1,0 +1,103 @@
+"""Tests for the qualitative report builders (Section 5.2)."""
+
+import pytest
+
+from repro.analysis import dataset_report, evolution_report, exploration_report
+from repro.exploration import EventType, ExtendSide, Goal
+
+
+class TestDatasetReport:
+    def test_contains_sizes(self, paper_graph):
+        text = dataset_report(paper_graph, "example")
+        assert "example" in text
+        assert "t0" in text and "t2" in text
+        assert "4" in text  # nodes at t0
+
+    def test_totals_line(self, paper_graph):
+        text = dataset_report(paper_graph)
+        assert "5 distinct nodes" in text
+        assert "6 distinct edges" in text
+
+
+class TestEvolutionReport:
+    def test_basic_report(self, paper_graph):
+        report = evolution_report(paper_graph, ["t0"], ["t1"], ["gender"])
+        assert "Aggregate nodes" in report.text
+        assert "Aggregate edges" in report.text
+        assert report.aggregate.node(("f",)).stability == 2
+
+    def test_activity_filter(self, paper_graph):
+        report = evolution_report(
+            paper_graph, ["t0"], ["t1"], ["gender"], min_publications=1
+        )
+        # The filter keeps appearances with publications strictly > 1:
+        # u1 (3 pubs) and u4 (2 pubs) at t0; nobody at t1 (all have 1
+        # publication there) -> pure shrinkage.
+        weights = report.aggregate.totals()
+        assert weights.stability == 0
+        assert weights.growth == 0
+        assert weights.shrinkage == 2
+        assert "publications > 1" in report.text
+
+    def test_percentages_rendered(self, paper_graph):
+        report = evolution_report(paper_graph, ["t0"], ["t1"], ["gender"])
+        assert "%" in report.text
+
+
+class TestExplorationReport:
+    def test_report_rows_per_threshold(self, small_dblp):
+        report = exploration_report(
+            small_dblp,
+            EventType.GROWTH,
+            Goal.MINIMAL,
+            ExtendSide.NEW,
+            thresholds=[1, 10],
+        )
+        assert set(report.results) == {1, 10}
+        assert "T_old" in report.text and "T_new" in report.text
+
+    def test_empty_result_renders_dash(self, small_dblp):
+        report = exploration_report(
+            small_dblp,
+            EventType.STABILITY,
+            Goal.MAXIMAL,
+            ExtendSide.NEW,
+            thresholds=[10 ** 9],
+        )
+        assert "-" in report.text
+        assert report.results[10 ** 9].pairs == ()
+
+    def test_time_labels_used(self, small_dblp):
+        report = exploration_report(
+            small_dblp,
+            EventType.GROWTH,
+            Goal.MINIMAL,
+            ExtendSide.NEW,
+            thresholds=[1],
+        )
+        assert "2000" in report.text or "2001" in report.text
+
+    def test_title_override(self, small_dblp):
+        report = exploration_report(
+            small_dblp,
+            EventType.GROWTH,
+            Goal.MINIMAL,
+            ExtendSide.NEW,
+            thresholds=[1],
+            title="custom title",
+        )
+        assert report.text.startswith("custom title")
+
+    def test_key_filter_threads_through(self, small_dblp):
+        report = exploration_report(
+            small_dblp,
+            EventType.GROWTH,
+            Goal.MINIMAL,
+            ExtendSide.NEW,
+            thresholds=[1],
+            attributes=["gender"],
+            key=(("f",), ("f",)),
+        )
+        for result in report.results.values():
+            for pair in result.pairs:
+                assert pair.count >= 1

@@ -1,0 +1,60 @@
+"""Tests for experiment-driver internals not covered by the smoke suite."""
+
+import pytest
+
+from repro.bench.experiments import (
+    ExperimentSeries,
+    _interval_spans,
+    _strict_span_limit,
+)
+from repro.core import TemporalGraphBuilder
+
+
+def graph_with_common_edge_span(span: int, total: int = 4):
+    """A graph whose longest anchored common-edge span is exactly ``span``."""
+    times = [f"t{i}" for i in range(total)]
+    builder = TemporalGraphBuilder(times, static=["g"])
+    builder.add_node("a", {"g": "x"})
+    builder.add_node("b", {"g": "x"})
+    for t in times:
+        builder.set_node_presence("a", t)
+        builder.set_node_presence("b", t)
+    builder.add_edge("a", "b", times[:span])
+    # A second edge that never repeats keeps later points non-empty.
+    builder.add_node("c", {"g": "x"})
+    builder.set_node_presence("c", times[-1])
+    builder.add_edge("a", "c", [times[-1]])
+    return builder.build()
+
+
+class TestStrictSpanLimit:
+    @pytest.mark.parametrize("span", [1, 2, 3])
+    def test_exact_limit(self, span):
+        graph = graph_with_common_edge_span(span)
+        assert _strict_span_limit(graph) == span
+
+    def test_full_timeline(self):
+        graph = graph_with_common_edge_span(4)
+        assert _strict_span_limit(graph) == 4
+
+    def test_paper_shape_on_dblp(self, small_dblp):
+        limit = _strict_span_limit(small_dblp)
+        assert 1 <= limit <= len(small_dblp.timeline)
+
+
+class TestIntervalSpans:
+    def test_anchored_prefixes(self, paper_graph):
+        spans = _interval_spans(paper_graph)
+        assert spans == [("t0",), ("t0", "t1"), ("t0", "t1", "t2")]
+
+
+class TestExperimentSeries:
+    def test_add_appends(self):
+        series = ExperimentSeries("demo", "x", [1, 2])
+        series.add("s", 0.5)
+        series.add("s", 0.7)
+        assert series.series["s"] == [0.5, 0.7]
+
+    def test_value_name_default(self):
+        series = ExperimentSeries("demo", "x", [])
+        assert series.value_name == "time (s)"

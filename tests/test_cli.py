@@ -1,0 +1,123 @@
+"""Smoke tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        parser = build_parser()
+        with pytest.raises(SystemExit):
+            parser.parse_args([])
+
+    def test_datasets_defaults(self):
+        args = build_parser().parse_args(["datasets"])
+        assert args.scale == 0.05
+
+    def test_figure_args(self):
+        args = build_parser().parse_args(
+            ["figure", "6", "--dataset", "movielens", "--scale", "0.01"]
+        )
+        assert args.number == 6
+        assert args.dataset == "movielens"
+
+    def test_unknown_dataset_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["figure", "6", "--dataset", "imdb"])
+
+
+class TestCommands:
+    def test_datasets_command(self, capsys):
+        assert main(["datasets", "--scale", "0.01"]) == 0
+        out = capsys.readouterr().out
+        assert "DBLP" in out and "MovieLens" in out
+        assert "2000" in out and "Aug" in out
+
+    def test_figure_command(self, capsys):
+        assert main(["figure", "5", "--scale", "0.01"]) == 0
+        out = capsys.readouterr().out
+        assert "fig5" in out
+        assert "gender" in out
+
+    def test_figure_10_command(self, capsys):
+        assert main(["figure", "10", "--scale", "0.01"]) == 0
+        out = capsys.readouterr().out
+        assert "speedup" in out
+
+    def test_figure_out_of_range(self):
+        with pytest.raises(SystemExit):
+            main(["figure", "99", "--scale", "0.01"])
+
+    def test_evolution_command(self, capsys):
+        assert main(["evolution", "--scale", "0.02"]) == 0
+        out = capsys.readouterr().out
+        assert "evolution on ['gender']" in out
+        assert "publications > 4" in out
+
+    def test_explore_command(self, capsys):
+        assert main(["explore", "--scale", "0.02"]) == 0
+        out = capsys.readouterr().out
+        assert "stability" in out
+        assert "w_th" in out
+
+    def test_figure_split_flag(self, capsys):
+        assert main(["figure", "6", "--scale", "0.01", "--split"]) == 0
+        out = capsys.readouterr().out
+        assert " op" in out and " agg" in out
+
+
+class TestExtendedCommands:
+    def test_groups_command(self, capsys):
+        assert main(["groups", "--scale", "0.02", "-k", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "group sweep" in out
+        assert "best pair" in out
+
+    def test_zoom_command(self, capsys):
+        assert main(["zoom", "--scale", "0.01", "--width", "7"]) == 0
+        out = capsys.readouterr().out
+        assert "union" in out and "intersection" in out
+        assert "2000..2006" in out
+
+    def test_olap_command(self, capsys):
+        assert main(["olap", "--scale", "0.01", "--budget", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "materialize" in out
+        assert "CubeStats" in out
+
+    def test_metrics_command(self, capsys):
+        assert main(["metrics", "--scale", "0.01"]) == 0
+        out = capsys.readouterr().out
+        assert "homophily" in out and "turnover" in out
+
+    def test_dot_command(self, tmp_path, capsys):
+        assert main(["dot", "--scale", "0.01", "--out", str(tmp_path)]) == 0
+        assert (tmp_path / "aggregate.dot").exists()
+        assert (tmp_path / "evolution.dot").exists()
+
+    def test_query_command(self, capsys):
+        assert main([
+            "query", "aggregate gender all over union [2000..2002]",
+            "--scale", "0.01",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "Aggregate nodes" in out and "gender" in out
+
+    def test_query_command_non_aggregate(self, capsys):
+        assert main([
+            "query", "explore growth k 1", "--scale", "0.01",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "growth/minimal" in out
+
+    def test_check_command(self, capsys):
+        assert main(["check", "--scale", "0.01"]) == 0
+        out = capsys.readouterr().out
+        assert "[info] size:" in out
+
+    def test_timeseries_command(self, capsys):
+        assert main(["timeseries", "--scale", "0.02"]) == 0
+        out = capsys.readouterr().out
+        assert "growth of female-female edges" in out
+        assert "largest shift" in out

@@ -1,0 +1,118 @@
+"""Tests for the school contact-network generator."""
+
+import pytest
+
+from repro.analysis import homophily
+from repro.core import aggregate, union
+from repro.datasets import ContactNetworkConfig, generate_contacts
+from repro.exploration import EventType, ExtendSide, Goal, explore
+
+
+@pytest.fixture(scope="module")
+def school():
+    return generate_contacts(
+        ContactNetworkConfig(
+            days=6,
+            pupils_per_class=15,
+            contacts_per_day=250,
+            closed_grade="2nd",
+            closure_days=(3, 4),
+            seed=5,
+        )
+    )
+
+
+class TestStructure:
+    def test_population(self, school):
+        # 3 grades x 2 classes x 15 pupils.
+        assert school.n_nodes == 90
+
+    def test_static_attributes(self, school):
+        grades = {school.attribute_value(n, "grade") for n in school.nodes}
+        klasses = {school.attribute_value(n, "klass") for n in school.nodes}
+        assert grades == {"1st", "2nd", "3rd"}
+        assert klasses == {"A", "B"}
+
+    def test_daily_contact_budget(self, school):
+        for day in school.timeline.labels:
+            assert school.n_edges_at(day) == 250
+
+    def test_determinism(self):
+        config = ContactNetworkConfig(days=3, contacts_per_day=100)
+        assert generate_contacts(config) == generate_contacts(config)
+
+    def test_no_self_loops(self, school):
+        assert all(u != v for u, v in school.edges)
+
+
+class TestHomophily:
+    def test_within_grade_contacts_dominate(self, school):
+        agg = aggregate(
+            union(school, school.timeline.labels[:3]), ["grade"], distinct=False
+        )
+        # Random mixing over 3 grades would give ~1/3.
+        assert homophily(agg) > 0.6
+
+    def test_class_homophily_exceeds_grade_baseline(self, school):
+        agg = aggregate(
+            union(school, school.timeline.labels[:3]), ["klass"], distinct=False
+        )
+        assert homophily(agg) > 0.5
+
+
+class TestClosure:
+    def test_closed_grade_absent(self, school):
+        for day in ("day4", "day5"):
+            grades = {
+                school.attribute_value(n, "grade")
+                for n in school.nodes_at(day)
+            }
+            assert "2nd" not in grades
+
+    def test_open_days_have_everyone(self, school):
+        assert school.n_nodes_at("day1") == 90
+        assert school.n_nodes_at("day6") == 90
+
+    def test_shrinkage_detects_the_closure(self, school):
+        """The paper's mitigation-evaluation workflow: the largest
+        node-shrinkage pair lands on the closure boundary."""
+        from repro.exploration import EntityKind
+
+        result = explore(
+            school, EventType.SHRINKAGE, Goal.MINIMAL, ExtendSide.OLD, 20,
+            entity=EntityKind.NODES,
+        )
+        best = result.best()
+        assert best is not None
+        # day3 (index 2) -> day4 (index 3) is the closure onset.
+        assert best.new.interval.start == 3
+
+    def test_growth_detects_the_reopening(self, school):
+        from repro.exploration import EntityKind
+
+        result = explore(
+            school, EventType.GROWTH, Goal.MINIMAL, ExtendSide.NEW, 20,
+            entity=EntityKind.NODES,
+        )
+        best = result.best()
+        assert best is not None
+        # Reopening on day6 (index 5).
+        assert best.new.interval.stop == 5
+
+
+class TestValidation:
+    def test_bad_shares(self):
+        with pytest.raises(ValueError):
+            ContactNetworkConfig(class_share=0.8, grade_share=0.5)
+
+    def test_unknown_closed_grade(self):
+        with pytest.raises(ValueError):
+            ContactNetworkConfig(closed_grade="9th")
+
+    def test_closure_day_out_of_range(self):
+        with pytest.raises(ValueError):
+            ContactNetworkConfig(days=3, closure_days=(5,))
+
+    def test_zero_days(self):
+        with pytest.raises(ValueError):
+            ContactNetworkConfig(days=0)

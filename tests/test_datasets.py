@@ -1,0 +1,241 @@
+"""Tests for the dataset generators: calibration, determinism, invariants."""
+
+import numpy as np
+import pytest
+
+from repro.datasets import (
+    DBLP_EDGE_COUNTS,
+    DBLP_NODE_COUNTS,
+    DBLP_YEARS,
+    MOVIELENS_EDGE_COUNTS,
+    MOVIELENS_MONTHS,
+    MOVIELENS_NODE_COUNTS,
+    EvolvingGraphConfig,
+    StaticAttributeSpec,
+    VaryingAttributeSpec,
+    dblp_config,
+    generate_dblp,
+    generate_evolving_graph,
+    generate_movielens,
+    movielens_config,
+)
+from repro.datasets.synthetic import hash_uniform
+
+
+class TestDblpCalibration:
+    def test_timeline_matches_table3(self, small_dblp):
+        assert small_dblp.timeline.labels == DBLP_YEARS
+
+    def test_node_counts_follow_scaled_table3(self, small_dblp):
+        config = dblp_config(scale=0.02)
+        for year, target in zip(DBLP_YEARS, config.node_targets):
+            assert small_dblp.n_nodes_at(year) == target
+
+    def test_edge_counts_follow_scaled_table3(self, small_dblp):
+        config = dblp_config(scale=0.02)
+        for year, target in zip(DBLP_YEARS, config.edge_targets):
+            assert small_dblp.n_edges_at(year) == target
+
+    def test_full_scale_targets_equal_table3(self):
+        config = dblp_config(scale=1.0)
+        assert config.node_targets == DBLP_NODE_COUNTS
+        assert config.edge_targets == DBLP_EDGE_COUNTS
+
+    def test_attributes(self, small_dblp):
+        assert small_dblp.static_attribute_names == ("gender",)
+        assert small_dblp.varying_attribute_names == ("publications",)
+
+    def test_gender_domain(self, small_dblp):
+        genders = {
+            small_dblp.attribute_value(n, "gender") for n in small_dblp.nodes
+        }
+        assert genders == {"m", "f"}
+
+    def test_female_minority(self, small_dblp):
+        values = [
+            small_dblp.attribute_value(n, "gender") for n in small_dblp.nodes
+        ]
+        share = values.count("f") / len(values)
+        assert 0.1 < share < 0.35
+
+    def test_publications_positive_where_present(self, small_dblp):
+        pubs = small_dblp.varying_attrs["publications"]
+        presence = small_dblp.node_presence
+        for node in list(small_dblp.nodes)[:50]:
+            for t, flag in zip(small_dblp.timeline.labels, presence.row(node)):
+                value = pubs.cell(node, t)
+                if flag:
+                    assert isinstance(value, int) and value >= 1
+                else:
+                    assert value is None
+
+    def test_determinism(self):
+        a = generate_dblp(scale=0.01)
+        b = generate_dblp(scale=0.01)
+        assert a == b
+
+    def test_seed_changes_output(self):
+        a = generate_dblp(scale=0.01, seed=1)
+        b = generate_dblp(scale=0.01, seed=2)
+        assert a != b
+
+
+class TestMovielensCalibration:
+    def test_timeline(self, small_movielens):
+        assert small_movielens.timeline.labels == MOVIELENS_MONTHS
+
+    def test_counts_follow_scaled_table4(self, small_movielens):
+        config = movielens_config(scale=0.03)
+        for month, n_target, m_target in zip(
+            MOVIELENS_MONTHS, config.node_targets, config.edge_targets
+        ):
+            assert small_movielens.n_nodes_at(month) == n_target
+            # Edge targets are capped by the number of possible ordered
+            # pairs at tiny scales.
+            n = small_movielens.n_nodes_at(month)
+            assert small_movielens.n_edges_at(month) == min(
+                m_target, n * (n - 1)
+            )
+
+    def test_full_scale_targets_equal_table4(self):
+        config = movielens_config(scale=1.0)
+        assert config.node_targets == MOVIELENS_NODE_COUNTS
+        assert config.edge_targets == MOVIELENS_EDGE_COUNTS
+
+    def test_august_is_the_peak(self, small_movielens):
+        sizes = {t: small_movielens.n_edges_at(t) for t in MOVIELENS_MONTHS}
+        assert max(sizes, key=sizes.get) == "Aug"
+
+    def test_attributes(self, small_movielens):
+        assert small_movielens.static_attribute_names == (
+            "gender", "age", "occupation",
+        )
+        assert small_movielens.varying_attribute_names == ("rating",)
+
+    def test_occupation_domain_size(self):
+        config = movielens_config()
+        occupation = next(
+            s for s in config.static_attrs if s.name == "occupation"
+        )
+        assert len(occupation.values) == 21
+
+    def test_age_domain_size(self):
+        config = movielens_config()
+        age = next(s for s in config.static_attrs if s.name == "age")
+        assert len(age.values) == 6
+
+    def test_rating_range(self, small_movielens):
+        rating = small_movielens.varying_attrs["rating"]
+        values = [v for v in rating.values.ravel() if v is not None]
+        assert values
+        assert all(1.0 <= v <= 5.0 for v in values)
+
+
+class TestEvolvingGraphEngine:
+    def test_invariants_hold(self, tiny_graph):
+        """Edges are only active when both endpoints are (the invariant
+        generate_evolving_graph promises without validation)."""
+        node_rows = {
+            n: row.astype(bool)
+            for n, row in tiny_graph.node_presence.iter_rows()
+        }
+        for (u, v), row in tiny_graph.edge_presence.iter_rows():
+            active = np.asarray(row, dtype=bool)
+            assert not (active & ~node_rows[u]).any()
+            assert not (active & ~node_rows[v]).any()
+
+    def test_no_self_loops(self, tiny_graph):
+        assert all(u != v for u, v in tiny_graph.edges)
+
+    def test_node_targets_validated(self):
+        with pytest.raises(ValueError):
+            EvolvingGraphConfig(times=(0, 1), node_targets=(5,), edge_targets=(1, 1))
+
+    def test_edge_targets_validated(self):
+        with pytest.raises(ValueError):
+            EvolvingGraphConfig(times=(0, 1), node_targets=(5, 5), edge_targets=(1,))
+
+    def test_survival_range_validated(self):
+        with pytest.raises(ValueError):
+            EvolvingGraphConfig(
+                times=(0,), node_targets=(5,), edge_targets=(1,),
+                node_survival=1.5,
+            )
+
+    def test_zero_nodes_rejected(self):
+        with pytest.raises(ValueError):
+            EvolvingGraphConfig(times=(0,), node_targets=(0,), edge_targets=(0,))
+
+    def test_scaled_preserves_structure(self):
+        config = dblp_config(scale=1.0)
+        scaled = config.scaled(0.1)
+        assert scaled.node_survival == config.node_survival
+        assert scaled.persistence == config.persistence
+        assert scaled.node_targets[0] == round(config.node_targets[0] * 0.1)
+
+    def test_scaled_rejects_non_positive(self):
+        with pytest.raises(ValueError):
+            dblp_config().scaled(0)
+
+    def test_edge_repeat_produces_stability(self):
+        config = EvolvingGraphConfig(
+            times=(0, 1), node_targets=(30, 30), edge_targets=(60, 60),
+            node_survival=1.0, edge_repeat=0.5, seed=5,
+        )
+        graph = generate_evolving_graph(config)
+        both = graph.edge_presence.all_mask([0, 1]).sum()
+        assert both >= 20  # about half the edges repeat
+
+    def test_no_edge_repeat_no_forced_stability(self):
+        config = EvolvingGraphConfig(
+            times=(0, 1), node_targets=(50, 50), edge_targets=(60, 60),
+            node_survival=1.0, edge_repeat=0.0, seed=5,
+        )
+        graph = generate_evolving_graph(config)
+        both = graph.edge_presence.all_mask([0, 1]).sum()
+        assert both < 10  # only chance collisions
+
+    def test_static_spec_probabilities(self):
+        rng = np.random.default_rng(0)
+        spec = StaticAttributeSpec("x", ("a", "b"), (1.0, 0.0))
+        values = spec.sample(rng, 100)
+        assert set(values) == {"a"}
+
+    def test_varying_spec_receives_node_ids(self):
+        seen = {}
+
+        def sampler(rng, node_ids, t):
+            seen[t] = node_ids.copy()
+            return np.zeros(len(node_ids), dtype=object)
+
+        config = EvolvingGraphConfig(
+            times=(0, 1), node_targets=(5, 5), edge_targets=(2, 2),
+            varying_attrs=(VaryingAttributeSpec("v", sampler),), seed=1,
+        )
+        generate_evolving_graph(config)
+        assert set(seen) == {0, 1}
+        assert all(len(ids) == 5 for ids in seen.values())
+
+    def test_hash_uniform_deterministic(self):
+        ids = np.arange(10)
+        assert (hash_uniform(ids) == hash_uniform(ids)).all()
+        assert ((0 <= hash_uniform(ids)) & (hash_uniform(ids) < 1)).all()
+
+    def test_persistence_biases_survival(self):
+        base = dict(
+            times=tuple(range(6)),
+            node_targets=(100,) * 6,
+            edge_targets=(50,) * 6,
+            node_survival=0.5,
+            node_return=0.0,
+            seed=9,
+        )
+        flat = generate_evolving_graph(EvolvingGraphConfig(**base))
+        biased = generate_evolving_graph(
+            EvolvingGraphConfig(**base, persistence=6.0)
+        )
+
+        def survivors_every_time(graph):
+            return int(graph.node_presence.all_mask().sum())
+
+        assert survivors_every_time(biased) > survivors_every_time(flat)

@@ -1,0 +1,70 @@
+"""Round-trip tests for graph persistence (save_graph / load_graph)."""
+
+import pytest
+
+from repro.datasets import generate_dblp, load_graph, paper_example, save_graph
+
+
+class TestGraphPersistence:
+    def test_roundtrip_paper_example(self, tmp_path, paper_graph):
+        save_graph(paper_graph, tmp_path / "example")
+        loaded = load_graph(
+            tmp_path / "example",
+            value_parsers={"publications": int},
+        )
+        assert loaded.size_table() == paper_graph.size_table()
+        assert set(loaded.nodes) == set(paper_graph.nodes)
+        assert set(loaded.edges) == set(paper_graph.edges)
+
+    def test_roundtrip_preserves_attributes(self, tmp_path, paper_graph):
+        save_graph(paper_graph, tmp_path / "example")
+        loaded = load_graph(
+            tmp_path / "example", value_parsers={"publications": int}
+        )
+        assert loaded.attribute_value("u2", "gender") == "f"
+        assert loaded.attribute_value("u1", "publications", "t0") == 3
+        assert loaded.attribute_value("u1", "publications", "t2") is None
+
+    def test_roundtrip_synthetic_with_int_ids(self, tmp_path):
+        graph = generate_dblp(scale=0.01)
+        save_graph(graph, tmp_path / "dblp")
+        loaded = load_graph(
+            tmp_path / "dblp",
+            node_parser=int,
+            time_parser=int,
+            value_parsers={"publications": int},
+        )
+        assert loaded.size_table() == graph.size_table()
+        assert loaded.node_presence == graph.node_presence
+        assert loaded.edge_presence == graph.edge_presence
+
+    def test_expected_files_created(self, tmp_path, paper_graph):
+        target = tmp_path / "out"
+        save_graph(paper_graph, target)
+        names = {p.name for p in target.iterdir()}
+        assert names == {
+            "nodes.csv", "edges.csv", "static.csv", "attr_publications.csv",
+        }
+
+    def test_directory_created_if_missing(self, tmp_path, paper_graph):
+        target = tmp_path / "deep" / "nested" / "dir"
+        save_graph(paper_graph, target)
+        assert target.exists()
+
+    def test_loaded_graph_supports_operators(self, tmp_path, paper_graph):
+        from repro.core import aggregate, union
+
+        save_graph(paper_graph, tmp_path / "g")
+        loaded = load_graph(
+            tmp_path / "g", value_parsers={"publications": int}
+        )
+        agg = aggregate(
+            union(loaded, ["t0"], ["t1"]),
+            ["gender", "publications"],
+            distinct=True,
+        )
+        assert agg.node_weight(("f", 1)) == 3
+
+    def test_missing_directory_raises(self, tmp_path):
+        with pytest.raises(FileNotFoundError):
+            load_graph(tmp_path / "missing")

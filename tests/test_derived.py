@@ -1,0 +1,106 @@
+"""Tests for derived (structure-computed) attributes."""
+
+import pytest
+
+from repro.core import (
+    aggregate,
+    degree_class,
+    with_degree_attribute,
+    with_derived_attribute,
+)
+
+
+class TestWithDerivedAttribute:
+    def test_computed_where_present(self, paper_graph):
+        extended = with_derived_attribute(
+            paper_graph, "tick", lambda g, node, time: f"{node}@{time}"
+        )
+        assert extended.attribute_value("u1", "tick", "t0") == "u1@t0"
+        assert extended.attribute_value("u1", "tick", "t2") is None
+
+    def test_existing_attributes_preserved(self, paper_graph):
+        extended = with_derived_attribute(
+            paper_graph, "tick", lambda g, n, t: 1
+        )
+        assert extended.attribute_value("u1", "publications", "t0") == 3
+        assert extended.attribute_value("u1", "gender") == "m"
+
+    def test_name_collision_rejected(self, paper_graph):
+        with pytest.raises(ValueError):
+            with_derived_attribute(paper_graph, "gender", lambda g, n, t: 1)
+
+    def test_original_untouched(self, paper_graph):
+        with_derived_attribute(paper_graph, "tick", lambda g, n, t: 1)
+        assert "tick" not in paper_graph.attribute_names
+
+    def test_usable_in_aggregation(self, paper_graph):
+        extended = with_derived_attribute(
+            paper_graph, "parity",
+            lambda g, n, t: g.attribute_value(n, "publications", t) % 2,
+        )
+        agg = aggregate(extended, ["parity"], times=["t0"])
+        # t0 publications: 3, 1, 1, 2 -> odd 3, even 1.
+        assert agg.node_weight((1,)) == 3
+        assert agg.node_weight((0,)) == 1
+
+
+class TestDegreeClass:
+    def test_default_buckets(self):
+        assert degree_class(0) == "0"
+        assert degree_class(1) == "1-2"
+        assert degree_class(2) == "1-2"
+        assert degree_class(3) == "3-9"
+        assert degree_class(9) == "3-9"
+        assert degree_class(10) == "10+"
+        assert degree_class(99) == "10+"
+
+    def test_custom_buckets(self):
+        assert degree_class(4, boundaries=(1, 5)) == "1-4"
+        assert degree_class(5, boundaries=(1, 5)) == "5+"
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            degree_class(-1)
+
+
+class TestWithDegreeAttribute:
+    def test_total_degree_t0(self, paper_graph):
+        extended = with_degree_attribute(paper_graph)
+        # t0 edges: (u1,u2), (u2,u3), (u1,u4) -> u1 deg 2, u2 deg 2,
+        # u3 deg 1, u4 deg 1.
+        assert extended.attribute_value("u1", "degree", "t0") == 2
+        assert extended.attribute_value("u2", "degree", "t0") == 2
+        assert extended.attribute_value("u3", "degree", "t0") == 1
+
+    def test_out_vs_in(self, paper_graph):
+        out = with_degree_attribute(paper_graph, direction="out")
+        incoming = with_degree_attribute(paper_graph, direction="in")
+        assert out.attribute_value("u1", "degree", "t0") == 2
+        assert incoming.attribute_value("u1", "degree", "t0") == 0
+        assert incoming.attribute_value("u2", "degree", "t0") == 1
+
+    def test_bad_direction(self, paper_graph):
+        with pytest.raises(ValueError):
+            with_degree_attribute(paper_graph, direction="sideways")
+
+    def test_classes(self, paper_graph):
+        extended = with_degree_attribute(
+            paper_graph, name="dclass", classes=(1, 2)
+        )
+        assert extended.attribute_value("u1", "dclass", "t0") == "2+"
+        assert extended.attribute_value("u3", "dclass", "t0") == "1-1"
+
+    def test_topological_aggregation(self, small_dblp):
+        """The Graph-OLAP 'topological dimension' workflow: group the
+        collaboration graph by degree class and gender."""
+        extended = with_degree_attribute(
+            small_dblp, name="dclass", classes=(1, 3, 10)
+        )
+        year = extended.timeline.labels[-1]
+        agg = aggregate(extended, ["gender", "dclass"], times=[year])
+        assert agg.total_node_weight() == small_dblp.n_nodes_at(year)
+        # Most authors have few collaborations per year.
+        low = sum(
+            w for key, w in agg.node_weights.items() if key[1] in ("1-2", "3-9")
+        )
+        assert low > agg.total_node_weight() / 2

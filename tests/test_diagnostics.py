@@ -1,0 +1,159 @@
+"""Tests for graph diagnostics."""
+
+import numpy as np
+import pytest
+
+from repro.core import TemporalGraph, Timeline
+from repro.diagnostics import Finding, check_graph, format_findings
+from repro.frames import LabeledFrame
+
+
+def severities(findings):
+    return {f.severity for f in findings}
+
+
+def codes(findings):
+    return {f.code for f in findings}
+
+
+class TestCleanGraphs:
+    def test_paper_example_has_no_errors(self, paper_graph):
+        findings = check_graph(paper_graph)
+        assert "error" not in severities(findings)
+        assert "info" in severities(findings)
+
+    def test_synthetic_has_no_errors(self, small_dblp):
+        findings = check_graph(small_dblp)
+        assert not [f for f in findings if f.severity == "error"]
+
+    def test_info_includes_domains_and_size(self, paper_graph):
+        findings = check_graph(paper_graph)
+        info_codes = [f.code for f in findings if f.severity == "info"]
+        assert "attribute-domain" in info_codes
+        assert "size" in info_codes
+
+
+def _broken_graph(**overrides) -> TemporalGraph:
+    times = ("t0", "t1")
+    nodes = LabeledFrame(["a", "b"], times, [[1, 1], [1, 0]])
+    edges = LabeledFrame([("a", "b")], times, [[1, 0]])
+    static = LabeledFrame(["a", "b"], ["color"], [["red"], ["blue"]])
+    varying = {
+        "level": LabeledFrame(["a", "b"], times, [[1, 2], [3, None]])
+    }
+    parts = dict(
+        timeline=Timeline(times),
+        node_presence=nodes,
+        edge_presence=edges,
+        static_attrs=static,
+        varying_attrs=varying,
+    )
+    parts.update(overrides)
+    return TemporalGraph(validate=False, **parts)
+
+
+class TestErrorDetection:
+    def test_dangling_edge(self):
+        times = ("t0", "t1")
+        graph = _broken_graph(
+            edge_presence=LabeledFrame([("a", "zz")], times, [[1, 0]])
+        )
+        assert "dangling-edge" in codes(check_graph(graph))
+
+    def test_edge_without_endpoints(self):
+        times = ("t0", "t1")
+        graph = _broken_graph(
+            edge_presence=LabeledFrame([("a", "b")], times, [[1, 1]])
+        )
+        assert "edge-without-endpoints" in codes(check_graph(graph))
+
+    def test_value_on_absent_appearance(self):
+        times = ("t0", "t1")
+        graph = _broken_graph(
+            varying_attrs={
+                "level": LabeledFrame(["a", "b"], times, [[1, 2], [3, 9]])
+            }
+        )
+        assert "value-on-absent-appearance" in codes(check_graph(graph))
+
+    def test_errors_come_first(self):
+        times = ("t0", "t1")
+        graph = _broken_graph(
+            edge_presence=LabeledFrame([("a", "b")], times, [[1, 1]])
+        )
+        findings = check_graph(graph)
+        first_info = next(
+            i for i, f in enumerate(findings) if f.severity == "info"
+        )
+        assert all(f.severity != "error" for f in findings[first_info:])
+
+
+class TestWarningDetection:
+    def test_missing_varying_value(self):
+        times = ("t0", "t1")
+        graph = _broken_graph(
+            varying_attrs={
+                "level": LabeledFrame(["a", "b"], times, [[None, 2], [3, None]])
+            }
+        )
+        assert "missing-attribute-value" in codes(check_graph(graph))
+
+    def test_never_present_node(self):
+        times = ("t0", "t1")
+        graph = _broken_graph(
+            node_presence=LabeledFrame(["a", "b"], times, [[1, 1], [0, 0]]),
+            edge_presence=LabeledFrame.empty(times, dtype=np.uint8),
+            varying_attrs={
+                "level": LabeledFrame(["a", "b"], times, [[1, 2], [None, None]])
+            },
+        )
+        assert "never-present-node" in codes(check_graph(graph))
+
+    def test_never_present_edge(self):
+        times = ("t0", "t1")
+        graph = _broken_graph(
+            edge_presence=LabeledFrame([("a", "b")], times, [[0, 0]])
+        )
+        assert "never-present-edge" in codes(check_graph(graph))
+
+    def test_empty_time_point(self):
+        times = ("t0", "t1")
+        graph = _broken_graph(
+            node_presence=LabeledFrame(["a", "b"], times, [[1, 0], [1, 0]]),
+            edge_presence=LabeledFrame([("a", "b")], times, [[1, 0]]),
+            varying_attrs={
+                "level": LabeledFrame(["a", "b"], times, [[1, None], [3, None]])
+            },
+        )
+        assert "empty-time-point" in codes(check_graph(graph))
+
+    def test_self_loop(self):
+        times = ("t0", "t1")
+        graph = _broken_graph(
+            edge_presence=LabeledFrame([("a", "a")], times, [[1, 0]])
+        )
+        assert "self-loop" in codes(check_graph(graph))
+
+    def test_missing_static_value(self):
+        graph = _broken_graph(
+            static_attrs=LabeledFrame(
+                ["a", "b"], ["color"], [["red"], [None]]
+            )
+        )
+        assert "missing-static-value" in codes(check_graph(graph))
+
+
+class TestFormatting:
+    def test_format(self, paper_graph):
+        text = format_findings(check_graph(paper_graph))
+        assert "[info]" in text
+
+    def test_format_empty(self):
+        assert format_findings([]) == "no findings"
+
+    def test_finding_validation(self):
+        with pytest.raises(ValueError):
+            Finding("fatal", "x", "y")
+
+    def test_finding_str(self):
+        assert str(Finding("info", "size", "msg")) == "[info] size: msg"

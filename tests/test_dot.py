@@ -1,0 +1,77 @@
+"""Tests for DOT export of aggregate and evolution graphs."""
+
+from repro.core import aggregate, aggregate_evolution, union
+from repro.interop import aggregate_to_dot, evolution_to_dot, write_dot
+
+
+class TestAggregateToDot:
+    def test_structure(self, paper_graph):
+        agg = aggregate(paper_graph, ["gender"], times=["t0"])
+        dot = aggregate_to_dot(agg)
+        assert dot.startswith("digraph aggregate {")
+        assert dot.rstrip().endswith("}")
+
+    def test_node_weights_in_labels(self, paper_graph):
+        agg = aggregate(paper_graph, ["gender"], times=["t0"])
+        dot = aggregate_to_dot(agg)
+        assert '"f" [label="f (3)"]' in dot
+        assert '"m" [label="m (1)"]' in dot
+
+    def test_edge_weights_in_labels(self, paper_graph):
+        agg = aggregate(paper_graph, ["gender"], times=["t0"])
+        dot = aggregate_to_dot(agg)
+        assert '"m" -> "f" [label="2"]' in dot
+
+    def test_multi_attribute_keys(self, paper_graph):
+        agg = aggregate(
+            union(paper_graph, ["t0"], ["t1"]),
+            ["gender", "publications"],
+        )
+        dot = aggregate_to_dot(agg)
+        assert '"f,1"' in dot
+
+    def test_custom_name(self, paper_graph):
+        agg = aggregate(paper_graph, ["gender"], times=["t0"])
+        assert aggregate_to_dot(agg, name="fig3a").startswith("digraph fig3a")
+
+    def test_quoting(self, paper_graph):
+        from repro.core import AggregateGraph
+
+        agg = AggregateGraph(("g",), {('he said "hi"',): 1}, {})
+        dot = aggregate_to_dot(agg)
+        assert '\\"hi\\"' in dot
+
+
+class TestEvolutionToDot:
+    def test_weights_rendered(self, paper_graph):
+        evo = aggregate_evolution(paper_graph, ["t0"], ["t1"], ["gender"])
+        dot = evolution_to_dot(evo)
+        assert "St=" in dot and "Gr=" in dot and "Shr=" in dot
+
+    def test_dominant_color(self, paper_graph):
+        evo = aggregate_evolution(
+            paper_graph, ["t0"], ["t1"], ["gender", "publications"]
+        )
+        dot = evolution_to_dot(evo)
+        # (m,3) is pure shrinkage -> red; (m,1) pure growth -> blue.
+        assert "firebrick" in dot
+        assert "steelblue" in dot
+
+    def test_stability_color(self, paper_graph):
+        evo = aggregate_evolution(paper_graph, ["t0"], ["t1"], ["gender"])
+        dot = evolution_to_dot(evo)
+        assert "forestgreen" in dot
+
+    def test_parses_as_balanced(self, paper_graph):
+        evo = aggregate_evolution(paper_graph, ["t0"], ["t1"], ["gender"])
+        dot = evolution_to_dot(evo)
+        assert dot.count("{") == dot.count("}")
+
+
+class TestWriteDot:
+    def test_writes_file(self, tmp_path, paper_graph):
+        agg = aggregate(paper_graph, ["gender"], times=["t0"])
+        path = write_dot(aggregate_to_dot(agg), tmp_path / "fig.dot")
+        content = path.read_text()
+        assert content.startswith("digraph")
+        assert content.endswith("}\n")

@@ -1,0 +1,95 @@
+"""Tests for hierarchical (coarse-to-fine) exploration."""
+
+import pytest
+
+from repro.core import TimeHierarchy
+from repro.exploration import (
+    EventType,
+    ExtendSide,
+    Goal,
+    drill_explore,
+    explore,
+)
+
+
+@pytest.fixture(scope="module")
+def hierarchy(small_dblp):
+    return TimeHierarchy.regular(small_dblp.timeline.labels, width=5)
+
+
+class TestDrillExplore:
+    def test_two_stages_run(self, small_dblp, hierarchy):
+        result = drill_explore(
+            small_dblp, hierarchy,
+            EventType.GROWTH, Goal.MINIMAL, ExtendSide.NEW, k=30,
+        )
+        assert result.coarse.pairs
+        assert result.fine
+        assert result.total_evaluations > result.coarse.evaluations
+
+    def test_fine_pairs_meet_threshold(self, small_dblp, hierarchy):
+        result = drill_explore(
+            small_dblp, hierarchy,
+            EventType.GROWTH, Goal.MINIMAL, ExtendSide.NEW, k=30,
+        )
+        for pair in result.all_fine_pairs():
+            assert pair.count >= 30
+
+    def test_drill_finds_the_flat_searchs_hits(self, small_dblp, hierarchy):
+        """Every qualifying base step found by flat exploration inside a
+        drilled window is also found by the drill."""
+        k = 40
+        flat = explore(
+            small_dblp, EventType.GROWTH, Goal.MINIMAL, ExtendSide.NEW, k
+        )
+        drilled = drill_explore(
+            small_dblp, hierarchy,
+            EventType.GROWTH, Goal.MINIMAL, ExtendSide.NEW, k=k,
+        )
+        fine_counts = {p.count for p in drilled.all_fine_pairs()}
+        # Flat consecutive-point hits have counterparts among the fine
+        # pairs (same counts on the same sub-timelines).
+        flat_point_counts = {
+            p.count for p in flat.pairs
+            if p.old.is_point and p.new.is_point
+        }
+        assert flat_point_counts & fine_counts or not flat_point_counts
+
+    def test_stability_drill(self, small_dblp, hierarchy):
+        result = drill_explore(
+            small_dblp, hierarchy,
+            EventType.STABILITY, Goal.MAXIMAL, ExtendSide.NEW, k=2,
+        )
+        for fine in result.fine.values():
+            for pair in fine.pairs:
+                assert pair.count >= 2
+
+    def test_coarse_k_override(self, small_dblp, hierarchy):
+        generous = drill_explore(
+            small_dblp, hierarchy,
+            EventType.GROWTH, Goal.MINIMAL, ExtendSide.NEW,
+            k=40, coarse_k=1,
+        )
+        strict = drill_explore(
+            small_dblp, hierarchy,
+            EventType.GROWTH, Goal.MINIMAL, ExtendSide.NEW,
+            k=40, coarse_k=40,
+        )
+        assert len(generous.coarse.pairs) >= len(strict.coarse.pairs)
+
+    def test_no_coarse_hits_no_fine_work(self, small_dblp, hierarchy):
+        result = drill_explore(
+            small_dblp, hierarchy,
+            EventType.GROWTH, Goal.MINIMAL, ExtendSide.NEW, k=10 ** 9,
+        )
+        assert result.coarse.pairs == ()
+        assert result.fine == {}
+
+    def test_fine_keys_are_unit_labels(self, small_dblp, hierarchy):
+        result = drill_explore(
+            small_dblp, hierarchy,
+            EventType.GROWTH, Goal.MINIMAL, ExtendSide.NEW, k=30,
+        )
+        for first, last in result.fine:
+            assert first in hierarchy.unit_labels
+            assert last in hierarchy.unit_labels

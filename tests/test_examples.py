@@ -1,0 +1,81 @@
+"""Integration tests: every example script runs end to end.
+
+Each example is executed as a subprocess (the way a user runs it) at a
+tiny scale, and its output is checked for the landmark lines that show
+the scenario actually executed.
+"""
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).resolve().parent.parent / "examples"
+
+
+def run_example(name: str, *args: str) -> str:
+    result = subprocess.run(
+        [sys.executable, str(EXAMPLES / name), *args],
+        capture_output=True,
+        text=True,
+        timeout=300,
+    )
+    assert result.returncode == 0, result.stderr
+    return result.stdout
+
+
+class TestExamples:
+    def test_quickstart(self):
+        out = run_example("quickstart.py")
+        assert "Table 2" in out
+        assert "DIST=3" in out and "ALL=4" in out
+        assert "St=1 Gr=1 Shr=1" in out
+
+    def test_dataset_report(self):
+        out = run_example("dataset_report.py", "0.01")
+        assert "Table 3 shape" in out and "Table 4 shape" in out
+        assert "reloaded graph matches the original size table: True" in out
+
+    def test_dblp_evolution(self):
+        out = run_example("dblp_evolution.py", "0.02")
+        assert "Figure 12a" in out and "Figure 12b" in out
+        assert "stable authors" in out
+
+    def test_movielens_exploration(self):
+        out = run_example("movielens_exploration.py", "0.02")
+        assert "Figure 13a" in out
+        assert "w_th=" in out
+
+    def test_epidemic_contacts(self):
+        out = run_example("epidemic_contacts.py")
+        assert "within-grade contact share" in out
+        assert "largest pupil shrinkage" in out
+        assert "closure onset" in out
+
+    def test_olap_session(self):
+        out = run_example("olap_session.py", "0.02")
+        assert "materialize" in out
+        assert "homophily" in out
+
+    def test_streaming_updates(self):
+        out = run_example("streaming_updates.py")
+        assert "consistent: True" in out
+        assert "False" not in out.split("consistent:")[1].splitlines()[0]
+
+    def test_custom_dataset(self):
+        out = run_example("custom_dataset.py")
+        assert "reloaded matches: True" in out
+        assert "[info] size:" in out
+
+    @pytest.mark.slow
+    def test_reproduce_all_smoke(self):
+        out = run_example("reproduce_all.py", "0.01")
+        assert "Figure 14" in out
+        assert "Total wall time" in out
+
+    def test_timeline_navigation(self):
+        out = run_example("timeline_navigation.py", "0.02")
+        assert "largest shift" in out
+        assert "drill into" in out
+        assert "best pair" in out

@@ -1,0 +1,96 @@
+"""Tests for threshold initialization (Section 3.5)."""
+
+import pytest
+
+from repro.exploration import (
+    EntityKind,
+    EventType,
+    consecutive_event_counts,
+    suggest_threshold,
+    threshold_ladder,
+)
+
+
+class TestConsecutiveEventCounts:
+    def test_length(self, paper_graph):
+        counts = consecutive_event_counts(paper_graph, EventType.STABILITY)
+        assert len(counts) == len(paper_graph.timeline) - 1
+
+    def test_paper_graph_stability_edges(self, paper_graph):
+        counts = consecutive_event_counts(paper_graph, EventType.STABILITY)
+        # t0->t1: (u1,u2) stable; t1->t2: (u4,u2) stable.
+        assert counts == [1, 1]
+
+    def test_paper_graph_growth_edges(self, paper_graph):
+        counts = consecutive_event_counts(paper_graph, EventType.GROWTH)
+        # t0->t1: (u4,u2); t1->t2: (u5,u4), (u5,u2).
+        assert counts == [1, 2]
+
+    def test_paper_graph_shrinkage_nodes(self, paper_graph):
+        counts = consecutive_event_counts(
+            paper_graph, EventType.SHRINKAGE, entity=EntityKind.NODES
+        )
+        # Node deletion events count nodes whose *presence* disappears
+        # (u3 at t0->t1, u1 at t1->t2).  Unlike the difference operator's
+        # V_-, surviving endpoints of deleted edges are not deletion
+        # events — they are kept by Definition 2.5 only so E_- stays
+        # well-formed.
+        assert counts == [1, 1]
+
+    def test_key_filter(self, paper_graph):
+        counts = consecutive_event_counts(
+            paper_graph,
+            EventType.GROWTH,
+            attributes=["gender"],
+            key=(("f",), ("f",)),
+        )
+        assert counts == [1, 0]
+
+
+class TestSuggestThreshold:
+    def test_max_mode(self, paper_graph):
+        assert suggest_threshold(paper_graph, EventType.GROWTH, mode="max") == 2
+
+    def test_min_mode(self, paper_graph):
+        assert suggest_threshold(paper_graph, EventType.GROWTH, mode="min") == 1
+
+    def test_zeros_ignored_when_possible(self, paper_graph):
+        w = suggest_threshold(
+            paper_graph,
+            EventType.GROWTH,
+            mode="min",
+            attributes=["gender"],
+            key=(("f",), ("f",)),
+        )
+        assert w == 1  # the zero count of t1->t2 is skipped
+
+    def test_bad_mode(self, paper_graph):
+        with pytest.raises(ValueError):
+            suggest_threshold(paper_graph, EventType.GROWTH, mode="median")
+
+    def test_matches_manual_max(self, small_dblp):
+        counts = consecutive_event_counts(small_dblp, EventType.STABILITY)
+        assert suggest_threshold(small_dblp, EventType.STABILITY, "max") == max(
+            c for c in counts if c > 0
+        )
+
+
+class TestThresholdLadder:
+    def test_scaling(self):
+        assert threshold_ladder(100, (1.0, 0.5, 0.1)) == [100, 50, 10]
+
+    def test_floors_at_one(self):
+        assert threshold_ladder(10, (0.001,)) == [1]
+
+    def test_rounding(self):
+        assert threshold_ladder(86, (1 / 86,)) == [1]
+        assert threshold_ladder(33968, (1 / 12,)) == [2831]
+
+    def test_growth_factors(self):
+        assert threshold_ladder(60, (1.0, 5.0, 20.0)) == [60, 300, 1200]
+
+    def test_non_positive_factor_rejected(self):
+        with pytest.raises(ValueError):
+            threshold_ladder(10, (0.0,))
+        with pytest.raises(ValueError):
+            threshold_ladder(10, (-1.0,))

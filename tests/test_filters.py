@@ -1,0 +1,95 @@
+"""Tests for appearance-level filtering (the Fig. 12 activity filter)."""
+
+import pytest
+
+from repro.core import aggregate, attribute_predicate, filter_appearances
+
+
+class TestAttributePredicate:
+    def test_single_condition(self):
+        keep = attribute_predicate(publications=lambda p: p is not None and p > 2)
+        assert keep("u1", "t0", {"publications": 3, "gender": "m"})
+        assert not keep("u1", "t0", {"publications": 1, "gender": "m"})
+
+    def test_multiple_conditions(self):
+        keep = attribute_predicate(
+            gender=lambda g: g == "f",
+            publications=lambda p: p is not None and p >= 1,
+        )
+        assert keep("u", "t", {"gender": "f", "publications": 1})
+        assert not keep("u", "t", {"gender": "m", "publications": 5})
+
+    def test_missing_attribute_raises(self):
+        keep = attribute_predicate(height=lambda h: True)
+        with pytest.raises(KeyError):
+            keep("u", "t", {"gender": "f"})
+
+
+class TestFilterAppearances:
+    def test_high_activity_filter(self, paper_graph):
+        keep = attribute_predicate(
+            publications=lambda p: p is not None and p > 2
+        )
+        filtered = filter_appearances(paper_graph, keep)
+        # Only u1@t0 (3 pubs) and u5@t2 (3 pubs) qualify.
+        assert set(filtered.nodes) == {"u1", "u5"}
+        assert filtered.node_times("u1") == ("t0",)
+        assert filtered.node_times("u5") == ("t2",)
+
+    def test_edges_require_both_endpoints(self, paper_graph):
+        keep = attribute_predicate(
+            publications=lambda p: p is not None and p > 2
+        )
+        filtered = filter_appearances(paper_graph, keep)
+        # No edge connects two high-activity appearances simultaneously.
+        assert filtered.n_edges == 0
+
+    def test_edges_survive_when_endpoints_do(self, paper_graph):
+        keep = attribute_predicate(
+            publications=lambda p: p is not None and p >= 1
+        )
+        filtered = filter_appearances(paper_graph, keep)
+        assert set(filtered.edges) == set(paper_graph.edges)
+
+    def test_static_condition(self, paper_graph):
+        keep = attribute_predicate(gender=lambda g: g == "f")
+        filtered = filter_appearances(paper_graph, keep)
+        assert set(filtered.nodes) == {"u2", "u3", "u4"}
+        # Only edges between female authors survive.
+        assert set(filtered.edges) == {("u2", "u3"), ("u4", "u2")}
+
+    def test_filter_then_aggregate(self, paper_graph):
+        keep = attribute_predicate(gender=lambda g: g == "f")
+        filtered = filter_appearances(paper_graph, keep)
+        agg = aggregate(filtered, ["gender"], times=["t0"])
+        assert agg.node_weight(("f",)) == 3
+        assert agg.node_weight(("m",)) == 0
+
+    def test_node_identity_predicate(self, paper_graph):
+        filtered = filter_appearances(
+            paper_graph, lambda node, time, values: node != "u2"
+        )
+        assert "u2" not in filtered.nodes
+        # All edges incident to u2 are gone.
+        assert all("u2" not in edge for edge in filtered.edges)
+
+    def test_time_predicate(self, paper_graph):
+        filtered = filter_appearances(
+            paper_graph, lambda node, time, values: time != "t0"
+        )
+        assert filtered.n_nodes_at("t0") == 0
+        assert filtered.n_nodes_at("t1") == paper_graph.n_nodes_at("t1")
+
+    def test_keep_all_is_identity_on_presence(self, paper_graph):
+        filtered = filter_appearances(paper_graph, lambda n, t, v: True)
+        assert filtered.size_table() == paper_graph.size_table()
+
+    def test_reject_all_empties_graph(self, paper_graph):
+        filtered = filter_appearances(paper_graph, lambda n, t, v: False)
+        assert filtered.n_nodes == 0
+        assert filtered.n_edges == 0
+
+    def test_original_graph_untouched(self, paper_graph):
+        before = paper_graph.node_presence.values.copy()
+        filter_appearances(paper_graph, lambda n, t, v: False)
+        assert (paper_graph.node_presence.values == before).all()

@@ -1,0 +1,77 @@
+"""Round-trip tests for CSV persistence of frames and tables."""
+
+import pytest
+
+from repro.frames import (
+    LabeledFrame,
+    Table,
+    read_frame_csv,
+    read_table_csv,
+    write_frame_csv,
+    write_table_csv,
+)
+
+
+class TestFrameCsv:
+    def test_roundtrip_ints(self, tmp_path):
+        frame = LabeledFrame(["u1", "u2"], [2000, 2001], [[1, 0], [0, 1]])
+        path = tmp_path / "frame.csv"
+        write_frame_csv(frame, path)
+        loaded = read_frame_csv(path, col_parser=int, value_parser=int)
+        assert loaded.row_labels == ("u1", "u2")
+        assert loaded.col_labels == (2000, 2001)
+        assert loaded.cell("u2", 2001) == 1
+
+    def test_roundtrip_none_cells(self, tmp_path):
+        frame = LabeledFrame(["u1"], ["t0", "t1"], [[3, None]])
+        path = tmp_path / "frame.csv"
+        write_frame_csv(frame, path)
+        loaded = read_frame_csv(path, value_parser=int)
+        assert loaded.cell("u1", "t0") == 3
+        assert loaded.cell("u1", "t1") is None
+
+    def test_roundtrip_empty_frame(self, tmp_path):
+        frame = LabeledFrame.empty(["t0", "t1"])
+        path = tmp_path / "frame.csv"
+        write_frame_csv(frame, path)
+        loaded = read_frame_csv(path)
+        assert loaded.n_rows == 0
+        assert loaded.col_labels == ("t0", "t1")
+
+    def test_row_parser(self, tmp_path):
+        frame = LabeledFrame([10, 20], ["t0"], [[1], [0]])
+        path = tmp_path / "frame.csv"
+        write_frame_csv(frame, path)
+        loaded = read_frame_csv(path, row_parser=int, value_parser=int)
+        assert loaded.row_labels == (10, 20)
+
+
+class TestTableCsv:
+    def test_roundtrip(self, tmp_path):
+        table = Table(["id", "value"], [("u1", "3"), ("u2", "1")])
+        path = tmp_path / "table.csv"
+        write_table_csv(table, path)
+        loaded = read_table_csv(path)
+        assert loaded == table
+
+    def test_roundtrip_with_parser(self, tmp_path):
+        table = Table(["a"], [("1",), ("2",)])
+        path = tmp_path / "table.csv"
+        write_table_csv(table, path)
+        loaded = read_table_csv(path, value_parser=int)
+        assert loaded.rows == [(1,), (2,)]
+
+    def test_none_roundtrip(self, tmp_path):
+        table = Table(["a", "b"], [("x", None)])
+        path = tmp_path / "table.csv"
+        write_table_csv(table, path)
+        loaded = read_table_csv(path)
+        assert loaded.rows == [("x", None)]
+
+    def test_empty_table(self, tmp_path):
+        table = Table(["a", "b"])
+        path = tmp_path / "table.csv"
+        write_table_csv(table, path)
+        loaded = read_table_csv(path)
+        assert loaded.columns == ("a", "b")
+        assert len(loaded) == 0

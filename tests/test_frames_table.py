@@ -1,0 +1,259 @@
+"""Unit tests for the relational Table and unpivot."""
+
+import pytest
+
+from repro.frames import LabeledFrame, SchemaError, Table, unpivot
+
+
+@pytest.fixture()
+def table():
+    return Table(
+        ["id", "t", "value"],
+        [
+            ("u1", "t0", 3),
+            ("u1", "t1", 1),
+            ("u2", "t0", 1),
+            ("u2", "t1", 1),
+            ("u2", "t0", 1),  # duplicate row
+        ],
+    )
+
+
+class TestConstruction:
+    def test_columns(self, table):
+        assert table.columns == ("id", "t", "value")
+
+    def test_len(self, table):
+        assert len(table) == 5
+
+    def test_duplicate_columns_rejected(self):
+        with pytest.raises(SchemaError):
+            Table(["a", "a"])
+
+    def test_bad_row_width_rejected(self):
+        with pytest.raises(SchemaError):
+            Table(["a", "b"], [(1,)])
+
+    def test_iteration(self, table):
+        assert next(iter(table)) == ("u1", "t0", 3)
+
+    def test_equality(self, table):
+        assert table == Table(table.columns, table.rows)
+        assert table != Table(table.columns, [])
+
+    def test_equality_other_type(self, table):
+        assert table.__eq__("x") is NotImplemented
+
+    def test_repr(self, table):
+        assert "n_rows=5" in repr(table)
+
+
+class TestMutation:
+    def test_append(self):
+        table = Table(["a"])
+        table.append((1,))
+        assert table.rows == [(1,)]
+
+    def test_append_wrong_width(self):
+        table = Table(["a"])
+        with pytest.raises(SchemaError):
+            table.append((1, 2))
+
+    def test_extend(self):
+        table = Table(["a"])
+        table.extend([(1,), (2,)])
+        assert len(table) == 2
+
+
+class TestRelationalOps:
+    def test_select(self, table):
+        kept = table.select(lambda row: row[2] == 3)
+        assert kept.rows == [("u1", "t0", 3)]
+
+    def test_project(self, table):
+        projected = table.project(["value", "id"])
+        assert projected.columns == ("value", "id")
+        assert projected.rows[0] == (3, "u1")
+
+    def test_project_unknown_column(self, table):
+        with pytest.raises(SchemaError):
+            table.project(["missing"])
+
+    def test_rename(self, table):
+        renamed = table.rename({"value": "pubs"})
+        assert renamed.columns == ("id", "t", "pubs")
+        assert renamed.rows == table.rows
+
+    def test_rename_unknown(self, table):
+        with pytest.raises(SchemaError):
+            table.rename({"missing": "x"})
+
+    def test_concat(self, table):
+        doubled = table.concat(table)
+        assert len(doubled) == 10
+
+    def test_concat_schema_mismatch(self, table):
+        with pytest.raises(SchemaError):
+            table.concat(Table(["x"]))
+
+    def test_concat_does_not_mutate(self, table):
+        table.concat(table)
+        assert len(table) == 5
+
+    def test_column_values(self, table):
+        assert table.column_values("id") == ["u1", "u1", "u2", "u2", "u2"]
+
+    def test_column_position_unknown(self, table):
+        with pytest.raises(SchemaError):
+            table.column_position("zzz")
+
+
+class TestDeduplicate:
+    def test_full_row_dedup(self, table):
+        deduped = table.deduplicate()
+        assert len(deduped) == 4
+
+    def test_key_dedup(self, table):
+        deduped = table.deduplicate(["id"])
+        assert len(deduped) == 2
+
+    def test_dedup_keeps_first(self, table):
+        deduped = table.deduplicate(["id"])
+        assert deduped.rows[0] == ("u1", "t0", 3)
+
+    def test_dedup_unknown_key(self, table):
+        with pytest.raises(SchemaError):
+            table.deduplicate(["nope"])
+
+
+class TestJoin:
+    @pytest.fixture()
+    def left(self):
+        return Table(["id", "t"], [("u1", 0), ("u2", 0), ("u3", 1)])
+
+    @pytest.fixture()
+    def right(self):
+        return Table(["id", "gender"], [("u1", "m"), ("u2", "f")])
+
+    def test_inner_join(self, left, right):
+        joined = left.join(right, on=["id"])
+        assert joined.columns == ("id", "t", "gender")
+        assert len(joined) == 2
+
+    def test_left_join_fills_none(self, left, right):
+        joined = left.join(right, on=["id"], how="left")
+        assert len(joined) == 3
+        assert joined.rows[-1] == ("u3", 1, None)
+
+    def test_join_multiplies_matches(self, left):
+        right = Table(["id", "x"], [("u1", 1), ("u1", 2)])
+        joined = left.join(right, on=["id"])
+        assert len(joined) == 2
+
+    def test_join_bad_how(self, left, right):
+        with pytest.raises(SchemaError):
+            left.join(right, on=["id"], how="outer")
+
+    def test_join_duplicate_output_column(self, left):
+        clash = Table(["id", "t"], [("u1", 9)])
+        with pytest.raises(SchemaError):
+            left.join(clash, on=["id"])
+
+
+class TestGroupBy:
+    def test_groupby_count(self, table):
+        counts = table.groupby_count(["id"])
+        assert counts == {("u1",): 2, ("u2",): 3}
+
+    def test_groupby_count_composite_key(self, table):
+        counts = table.groupby_count(["id", "t"])
+        assert counts[("u2", "t0")] == 2
+
+    def test_groupby_sum(self, table):
+        sums = table.groupby_sum(["id"], "value")
+        assert sums == {("u1",): 4, ("u2",): 3}
+
+    def test_groupby_agg_max(self, table):
+        result = table.groupby_agg(["id"], "value", max)
+        assert result == {("u1",): 3, ("u2",): 1}
+
+    def test_groupby_agg_mean(self, table):
+        result = table.groupby_agg(
+            ["id"], "value", lambda xs: sum(xs) / len(xs)
+        )
+        assert result[("u1",)] == 2.0
+
+    def test_groupby_empty_table(self):
+        table = Table(["a", "b"])
+        assert table.groupby_count(["a"]) == {}
+
+
+class TestUnpivot:
+    def test_unpivot_drops_none(self):
+        frame = LabeledFrame(
+            ["u1", "u2"], ["t0", "t1"], [[3, None], [1, 1]]
+        )
+        long = unpivot(frame)
+        assert ("u1", "t1", None) not in long.rows
+        assert len(long) == 3
+
+    def test_unpivot_keep_missing(self):
+        frame = LabeledFrame(["u1"], ["t0", "t1"], [[3, None]])
+        long = unpivot(frame, drop_missing=False)
+        assert len(long) == 2
+
+    def test_unpivot_column_names(self):
+        frame = LabeledFrame(["u1"], ["t0"], [[7]])
+        long = unpivot(frame, row_name="node", col_name="year", value_name="pubs")
+        assert long.columns == ("node", "year", "pubs")
+        assert long.rows == [("u1", "t0", 7)]
+
+    def test_unpivot_row_order_is_rowwise(self):
+        frame = LabeledFrame(["a", "b"], ["x", "y"], [[1, 2], [3, 4]])
+        long = unpivot(frame)
+        assert [row[2] for row in long.rows] == [1, 2, 3, 4]
+
+    def test_to_string(self, table):
+        text = table.to_string(max_rows=2)
+        assert "id" in text and "more rows" in text
+
+
+class TestOrderLimitDistinct:
+    def test_order_by_numeric(self, table):
+        ordered = table.order_by(["value"])
+        assert [r[2] for r in ordered.rows] == [1, 1, 1, 1, 3]
+
+    def test_order_by_descending(self, table):
+        ordered = table.order_by(["value"], descending=True)
+        assert ordered.rows[0][2] == 3
+
+    def test_order_by_multiple_columns(self, table):
+        ordered = table.order_by(["id", "t"])
+        assert ordered.rows[0][:2] == ("u1", "t0")
+
+    def test_order_by_is_stable(self):
+        rows = [("a", 1, 10), ("b", 1, 20), ("c", 1, 30)]
+        ordered = Table(["k", "x", "v"], rows).order_by(["x"])
+        assert [r[0] for r in ordered.rows] == ["a", "b", "c"]
+
+    def test_order_by_mixed_types(self):
+        rows = [("a", 2, 1), ("b", "high", 1)]
+        ordered = Table(["k", "x", "v"], rows).order_by(["x"])
+        # Numbers sort before strings; no TypeError.
+        assert ordered.rows[0][1] == 2
+
+    def test_order_by_unknown_column(self, table):
+        with pytest.raises(SchemaError):
+            table.order_by(["zzz"])
+
+    def test_limit(self, table):
+        assert len(table.limit(2)) == 2
+        assert len(table.limit(99)) == 5
+
+    def test_limit_negative(self, table):
+        with pytest.raises(SchemaError):
+            table.limit(-1)
+
+    def test_distinct_values(self, table):
+        assert table.distinct_values("id") == ["u1", "u2"]
+        assert table.distinct_values("value") == [3, 1]

@@ -1,0 +1,144 @@
+"""Tests for time hierarchies and graph coarsening."""
+
+import pytest
+
+from repro.core import TimeHierarchy, aggregate, coarsen, union
+
+
+@pytest.fixture()
+def hierarchy():
+    return TimeHierarchy({"early": ["t0", "t1"], "late": ["t2"]})
+
+
+class TestTimeHierarchy:
+    def test_members(self, hierarchy):
+        assert hierarchy.members("early") == ("t0", "t1")
+
+    def test_unit_of(self, hierarchy):
+        assert hierarchy.unit_of("t2") == "late"
+
+    def test_unknown_unit(self, hierarchy):
+        with pytest.raises(KeyError):
+            hierarchy.members("middle")
+
+    def test_unknown_base(self, hierarchy):
+        with pytest.raises(KeyError):
+            hierarchy.unit_of("t9")
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            TimeHierarchy({})
+
+    def test_empty_unit_rejected(self):
+        with pytest.raises(ValueError):
+            TimeHierarchy({"u": []})
+
+    def test_overlapping_units_rejected(self):
+        with pytest.raises(ValueError):
+            TimeHierarchy({"a": ["t0"], "b": ["t0", "t1"]})
+
+    def test_regular_windows(self):
+        hierarchy = TimeHierarchy.regular(range(2000, 2006), width=2)
+        assert len(hierarchy) == 3
+        assert hierarchy.members("2000..2001") == (2000, 2001)
+
+    def test_regular_last_window_shorter(self):
+        hierarchy = TimeHierarchy.regular(range(2000, 2005), width=2)
+        assert hierarchy.members("2004..2004") == (2004,)
+
+    def test_regular_custom_name(self):
+        hierarchy = TimeHierarchy.regular(["a", "b"], width=1, name="w{index}")
+        assert hierarchy.unit_labels == ("w0", "w1")
+
+    def test_regular_bad_width(self):
+        with pytest.raises(ValueError):
+            TimeHierarchy.regular(["a"], width=0)
+
+    def test_covers(self, hierarchy, paper_graph):
+        assert hierarchy.covers(paper_graph.timeline)
+
+    def test_len_and_repr(self, hierarchy):
+        assert len(hierarchy) == 2
+        assert "early" in repr(hierarchy)
+
+
+class TestCoarsenUnion:
+    def test_presence(self, paper_graph, hierarchy):
+        coarse = coarsen(paper_graph, hierarchy, "union")
+        assert coarse.timeline.labels == ("early", "late")
+        # u1 exists at t0, t1 -> early only.
+        assert coarse.node_times("u1") == ("early",)
+        # u5 exists at t2 only -> late.
+        assert coarse.node_times("u5") == ("late",)
+
+    def test_all_entities_survive_union(self, paper_graph, hierarchy):
+        coarse = coarsen(paper_graph, hierarchy, "union")
+        assert set(coarse.nodes) == set(paper_graph.nodes)
+        assert set(coarse.edges) == set(paper_graph.edges)
+
+    def test_coarse_graph_supports_aggregation(self, paper_graph, hierarchy):
+        coarse = coarsen(paper_graph, hierarchy, "union")
+        agg = aggregate(coarse, ["gender"], distinct=True, times=["early"])
+        direct = aggregate(
+            union(paper_graph, ["t0", "t1"]), ["gender"], distinct=True
+        )
+        assert dict(agg.node_weights) == dict(direct.node_weights)
+
+    def test_varying_attribute_takes_latest_value(self, paper_graph, hierarchy):
+        coarse = coarsen(paper_graph, hierarchy, "union")
+        # u1 has pubs 3@t0, 1@t1 -> 'early' carries the latest (1).
+        assert coarse.attribute_value("u1", "publications", "early") == 1
+
+    def test_static_attributes_preserved(self, paper_graph, hierarchy):
+        coarse = coarsen(paper_graph, hierarchy, "union")
+        assert coarse.attribute_value("u3", "gender") == "f"
+
+
+class TestCoarsenIntersection:
+    def test_strict_presence(self, paper_graph, hierarchy):
+        coarse = coarsen(paper_graph, hierarchy, "intersection")
+        # u3 exists only at t0, not throughout 'early' -> dropped there.
+        assert "u3" not in coarse.nodes
+        # u1 exists at both t0 and t1 -> present in 'early'.
+        assert coarse.node_times("u1") == ("early",)
+
+    def test_strict_edges(self, paper_graph, hierarchy):
+        coarse = coarsen(paper_graph, hierarchy, "intersection")
+        # Only (u1,u2) spans all of early; late has its three edges.
+        assert coarse.edges_at("early") == (("u1", "u2"),)
+        assert len(coarse.edges_at("late")) == 3
+
+    def test_strict_subset_of_union(self, paper_graph, hierarchy):
+        strict = coarsen(paper_graph, hierarchy, "intersection")
+        relaxed = coarsen(paper_graph, hierarchy, "union")
+        assert set(strict.nodes) <= set(relaxed.nodes)
+        assert set(strict.edges) <= set(relaxed.edges)
+
+
+class TestCoarsenValidation:
+    def test_bad_semantics(self, paper_graph, hierarchy):
+        with pytest.raises(ValueError):
+            coarsen(paper_graph, hierarchy, "majority")
+
+    def test_uncovered_timeline_rejected(self, paper_graph):
+        partial = TimeHierarchy({"early": ["t0", "t1"]})
+        with pytest.raises(ValueError):
+            coarsen(paper_graph, partial)
+
+    def test_non_contiguous_unit_rejected(self, paper_graph):
+        weird = TimeHierarchy({"ends": ["t0", "t2"], "mid": ["t1"]})
+        with pytest.raises(ValueError):
+            coarsen(paper_graph, weird)
+
+    def test_out_of_order_units_rejected(self, paper_graph):
+        backwards = TimeHierarchy({"late": ["t2"], "early": ["t0", "t1"]})
+        with pytest.raises(ValueError):
+            coarsen(paper_graph, backwards)
+
+    def test_coarsen_synthetic(self, small_dblp):
+        hierarchy = TimeHierarchy.regular(small_dblp.timeline.labels, width=10)
+        coarse = coarsen(small_dblp, hierarchy, "union")
+        assert len(coarse.timeline) == 3
+        # Union coarsening preserves every entity.
+        assert coarse.n_nodes == small_dblp.n_nodes
+        assert coarse.n_edges == small_dblp.n_edges

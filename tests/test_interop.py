@@ -1,0 +1,103 @@
+"""Tests for networkx interoperability."""
+
+import networkx as nx
+import pytest
+
+from repro.core import aggregate
+from repro.interop import aggregate_to_networkx, from_snapshots, to_networkx
+
+
+class TestToNetworkx:
+    def test_snapshot_membership(self, paper_graph):
+        snapshot = to_networkx(paper_graph, ["t0"])
+        assert set(snapshot.nodes) == {"u1", "u2", "u3", "u4"}
+        assert snapshot.has_edge("u1", "u2")
+        assert not snapshot.has_edge("u4", "u2")  # only from t1 on
+
+    def test_window_membership(self, paper_graph):
+        window = to_networkx(paper_graph, ["t0", "t1"])
+        assert window.number_of_nodes() == 4
+        assert window.has_edge("u4", "u2")
+
+    def test_default_is_full_timeline(self, paper_graph):
+        full = to_networkx(paper_graph)
+        assert full.number_of_nodes() == 5
+        assert full.number_of_edges() == 6
+
+    def test_node_attributes(self, paper_graph):
+        snapshot = to_networkx(paper_graph, ["t0"])
+        assert snapshot.nodes["u2"]["gender"] == "f"
+        assert snapshot.nodes["u2"]["publications"] == {"t0": 1}
+        assert snapshot.nodes["u2"]["times"] == ("t0",)
+
+    def test_edge_attributes(self, paper_graph):
+        window = to_networkx(paper_graph, ["t0", "t1"])
+        assert window.edges["u1", "u2"]["times"] == ("t0", "t1")
+
+    def test_directedness(self, paper_graph):
+        snapshot = to_networkx(paper_graph, ["t0"])
+        assert isinstance(snapshot, nx.DiGraph)
+        assert snapshot.has_edge("u2", "u3")
+        assert not snapshot.has_edge("u3", "u2")
+
+
+class TestFromSnapshots:
+    def test_roundtrip_presence(self, paper_graph):
+        snapshots = {
+            t: to_networkx(paper_graph, [t]) for t in paper_graph.timeline.labels
+        }
+        rebuilt = from_snapshots(
+            snapshots, static=["gender"], varying=[]
+        )
+        assert rebuilt.size_table() == paper_graph.size_table()
+        assert set(rebuilt.edges) == set(paper_graph.edges)
+
+    def test_static_attributes_survive(self, paper_graph):
+        snapshots = {
+            t: to_networkx(paper_graph, [t]) for t in paper_graph.timeline.labels
+        }
+        rebuilt = from_snapshots(snapshots, static=["gender"])
+        for node in rebuilt.nodes:
+            assert rebuilt.attribute_value(node, "gender") == (
+                paper_graph.attribute_value(node, "gender")
+            )
+
+    def test_varying_attributes(self):
+        g0 = nx.DiGraph()
+        g0.add_node("a", score=1)
+        g0.add_node("b", score=2)
+        g0.add_edge("a", "b")
+        g1 = nx.DiGraph()
+        g1.add_node("a", score=5)
+        rebuilt = from_snapshots({"d0": g0, "d1": g1}, varying=["score"])
+        assert rebuilt.attribute_value("a", "score", "d0") == 1
+        assert rebuilt.attribute_value("a", "score", "d1") == 5
+        assert rebuilt.attribute_value("b", "score", "d1") is None
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            from_snapshots({})
+
+
+class TestAggregateToNetworkx:
+    def test_weights(self, paper_graph):
+        agg = aggregate(paper_graph, ["gender"], times=["t0"])
+        out = aggregate_to_networkx(agg)
+        assert out.nodes[("f",)]["weight"] == 3
+        assert out.edges[("m",), ("f",)]["weight"] == 2
+
+    def test_supports_networkx_algorithms(self, paper_graph):
+        agg = aggregate(paper_graph, ["gender"], times=["t0"])
+        out = aggregate_to_networkx(agg)
+        # A plain networkx algorithm should run on the result.
+        assert nx.number_weakly_connected_components(out) >= 1
+
+    def test_dangling_aggregate_edges_add_nodes(self):
+        from repro.core import AggregateGraph
+
+        agg = AggregateGraph(
+            ("g",), {}, {((("x",)), (("y",))): 4}, distinct=True
+        )
+        out = aggregate_to_networkx(agg)
+        assert out.nodes[("x",)]["weight"] == 0
+        assert out.edges[("x",), ("y",)]["weight"] == 4

@@ -1,0 +1,152 @@
+"""Unit tests for Interval and Timeline."""
+
+import pytest
+
+from repro.core import Interval, Timeline
+
+
+class TestInterval:
+    def test_point(self):
+        interval = Interval.point(3)
+        assert interval.is_point
+        assert interval.length == 1
+
+    def test_length(self):
+        assert Interval(2, 5).length == 4
+
+    def test_negative_start_rejected(self):
+        with pytest.raises(ValueError):
+            Interval(-1, 0)
+
+    def test_inverted_rejected(self):
+        with pytest.raises(ValueError):
+            Interval(3, 2)
+
+    def test_indices(self):
+        assert list(Interval(1, 3).indices()) == [1, 2, 3]
+
+    def test_iter(self):
+        assert list(Interval(0, 1)) == [0, 1]
+
+    def test_contains_index(self):
+        interval = Interval(2, 4)
+        assert 2 in interval and 4 in interval
+        assert 1 not in interval and 5 not in interval
+
+    def test_contains_non_int(self):
+        assert "x" not in Interval(0, 1)
+
+    def test_contains_interval(self):
+        assert Interval(0, 5).contains(Interval(2, 3))
+        assert not Interval(2, 3).contains(Interval(0, 5))
+
+    def test_overlaps(self):
+        assert Interval(0, 2).overlaps(Interval(2, 4))
+        assert not Interval(0, 1).overlaps(Interval(2, 3))
+
+    def test_precedes(self):
+        assert Interval(0, 1).precedes(Interval(2, 3))
+        assert not Interval(0, 2).precedes(Interval(2, 3))
+
+    def test_extend_right(self):
+        assert Interval(1, 2).extend_right() == Interval(1, 3)
+        assert Interval(1, 2).extend_right(3) == Interval(1, 5)
+
+    def test_extend_left(self):
+        assert Interval(2, 3).extend_left() == Interval(1, 3)
+
+    def test_extend_left_below_zero_rejected(self):
+        with pytest.raises(ValueError):
+            Interval(0, 1).extend_left()
+
+    def test_ordering(self):
+        assert Interval(0, 1) < Interval(0, 2) < Interval(1, 1)
+
+    def test_str(self):
+        assert str(Interval.point(2)) == "[2]"
+        assert str(Interval(1, 4)) == "[1..4]"
+
+    def test_hashable(self):
+        assert len({Interval(0, 1), Interval(0, 1), Interval(0, 2)}) == 2
+
+
+class TestTimeline:
+    @pytest.fixture()
+    def timeline(self):
+        return Timeline([2000, 2001, 2002, 2003])
+
+    def test_len_and_iter(self, timeline):
+        assert len(timeline) == 4
+        assert list(timeline) == [2000, 2001, 2002, 2003]
+
+    def test_contains(self, timeline):
+        assert 2001 in timeline
+        assert 1999 not in timeline
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            Timeline([])
+
+    def test_duplicates_rejected(self):
+        with pytest.raises(ValueError):
+            Timeline([2000, 2000])
+
+    def test_index_of(self, timeline):
+        assert timeline.index_of(2002) == 2
+
+    def test_index_of_unknown(self, timeline):
+        with pytest.raises(KeyError):
+            timeline.index_of(1999)
+
+    def test_label_at(self, timeline):
+        assert timeline.label_at(0) == 2000
+
+    def test_label_at_out_of_range(self, timeline):
+        with pytest.raises(IndexError):
+            timeline.label_at(4)
+
+    def test_labels_for(self, timeline):
+        assert timeline.labels_for(Interval(1, 2)) == (2001, 2002)
+
+    def test_labels_for_out_of_range(self, timeline):
+        with pytest.raises(IndexError):
+            timeline.labels_for(Interval(2, 9))
+
+    def test_interval_of(self, timeline):
+        assert timeline.interval_of([2001, 2002]) == Interval(1, 2)
+
+    def test_interval_of_unordered_input(self, timeline):
+        assert timeline.interval_of([2002, 2001]) == Interval(1, 2)
+
+    def test_interval_of_non_contiguous(self, timeline):
+        with pytest.raises(ValueError):
+            timeline.interval_of([2000, 2002])
+
+    def test_interval_of_empty(self, timeline):
+        with pytest.raises(ValueError):
+            timeline.interval_of([])
+
+    def test_span(self, timeline):
+        assert timeline.span(2001, 2003) == (2001, 2002, 2003)
+
+    def test_full_interval(self, timeline):
+        assert timeline.full_interval() == Interval(0, 3)
+
+    def test_consecutive_pairs(self, timeline):
+        pairs = timeline.consecutive_pairs()
+        assert len(pairs) == 3
+        assert pairs[0] == (Interval.point(0), Interval.point(1))
+
+    def test_equality(self, timeline):
+        assert timeline == Timeline([2000, 2001, 2002, 2003])
+        assert timeline != Timeline([2000])
+
+    def test_equality_other_type(self, timeline):
+        assert timeline.__eq__(5) is NotImplemented
+
+    def test_repr(self, timeline):
+        assert "2000" in repr(timeline)
+
+    def test_string_labels(self):
+        timeline = Timeline(["May", "Jun"])
+        assert timeline.span("May", "Jun") == ("May", "Jun")

@@ -1,0 +1,142 @@
+"""Tests for partial materialization (Section 4.3)."""
+
+import pytest
+
+from repro.core import aggregate, union
+from repro.materialize import MaterializedStore
+
+
+@pytest.fixture()
+def store(small_dblp):
+    return MaterializedStore(small_dblp)
+
+
+class TestCache:
+    def test_miss_then_hit(self, store, small_dblp):
+        time = small_dblp.timeline.labels[0]
+        store.timepoint_aggregate(["gender"], time)
+        assert store.stats.misses == 1
+        store.timepoint_aggregate(["gender"], time)
+        assert store.stats.hits == 1
+        assert len(store) == 1
+
+    def test_distinct_flag_is_part_of_key(self, store, small_dblp):
+        time = small_dblp.timeline.labels[0]
+        store.timepoint_aggregate(["gender"], time, distinct=True)
+        store.timepoint_aggregate(["gender"], time, distinct=False)
+        assert store.stats.misses == 2
+
+    def test_attribute_set_is_part_of_key(self, store, small_dblp):
+        time = small_dblp.timeline.labels[0]
+        store.timepoint_aggregate(["gender"], time)
+        store.timepoint_aggregate(["publications"], time)
+        assert store.stats.misses == 2
+
+    def test_precompute_fills_cache(self, store, small_dblp):
+        store.precompute(["gender"])
+        assert len(store) == len(small_dblp.timeline)
+
+    def test_precompute_subset_of_times(self, store, small_dblp):
+        times = small_dblp.timeline.labels[:3]
+        store.precompute(["gender"], times=times)
+        assert len(store) == 3
+
+    def test_cached_equals_direct(self, store, small_dblp):
+        time = small_dblp.timeline.labels[2]
+        cached = store.timepoint_aggregate(["gender"], time, distinct=True)
+        direct = aggregate(small_dblp, ["gender"], distinct=True, times=[time])
+        assert dict(cached.node_weights) == dict(direct.node_weights)
+
+
+class TestTDistributivity:
+    def test_union_all_matches_scratch_static(self, store, small_dblp):
+        times = small_dblp.timeline.labels[:5]
+        derived = store.union_aggregate(["gender"], times)
+        direct = aggregate(union(small_dblp, times), ["gender"], distinct=False)
+        assert dict(derived.node_weights) == dict(direct.node_weights)
+        assert dict(derived.edge_weights) == dict(direct.edge_weights)
+
+    def test_union_all_matches_scratch_varying(self, store, small_dblp):
+        times = small_dblp.timeline.labels[:4]
+        derived = store.union_aggregate(["publications"], times)
+        direct = aggregate(
+            union(small_dblp, times), ["publications"], distinct=False
+        )
+        assert dict(derived.node_weights) == dict(direct.node_weights)
+        assert dict(derived.edge_weights) == dict(direct.edge_weights)
+
+    def test_union_all_full_timeline(self, store, small_dblp):
+        times = small_dblp.timeline.labels
+        derived = store.union_aggregate(["gender"], times)
+        direct = aggregate(union(small_dblp, times), ["gender"], distinct=False)
+        assert dict(derived.edge_weights) == dict(direct.edge_weights)
+
+    def test_single_point(self, store, small_dblp):
+        time = small_dblp.timeline.labels[0]
+        derived = store.union_aggregate(["gender"], [time])
+        direct = aggregate(small_dblp, ["gender"], distinct=False, times=[time])
+        assert dict(derived.node_weights) == dict(direct.node_weights)
+
+    def test_empty_times_rejected(self, store):
+        with pytest.raises(ValueError):
+            store.union_aggregate(["gender"], [])
+
+    def test_distinct_is_not_t_distributive(self, small_dblp):
+        """Summing per-point DIST aggregates overcounts vs. the true
+        union DIST aggregate — the reason Section 4.3 excludes it."""
+        times = small_dblp.timeline.labels[:5]
+        summed = None
+        for time in times:
+            point = aggregate(small_dblp, ["gender"], distinct=True, times=[time])
+            forged = type(point)(
+                point.attributes, point.node_weights, point.edge_weights,
+                distinct=False,
+            )
+            summed = forged if summed is None else summed + forged
+        true = aggregate(union(small_dblp, times), ["gender"], distinct=True)
+        assert summed.total_node_weight() > true.total_node_weight()
+
+
+class TestDDistributivity:
+    def test_rollup_matches_scratch_dist(self, store, small_dblp):
+        time = small_dblp.timeline.labels[1]
+        derived = store.rollup_aggregate(
+            ["gender", "publications"], ["gender"], time, distinct=True
+        )
+        direct = aggregate(small_dblp, ["gender"], distinct=True, times=[time])
+        assert dict(derived.node_weights) == dict(direct.node_weights)
+        assert dict(derived.edge_weights) == dict(direct.edge_weights)
+
+    def test_rollup_matches_scratch_all(self, store, small_dblp):
+        time = small_dblp.timeline.labels[1]
+        derived = store.rollup_aggregate(
+            ["gender", "publications"], ["publications"], time, distinct=False
+        )
+        direct = aggregate(
+            small_dblp, ["publications"], distinct=False, times=[time]
+        )
+        assert dict(derived.node_weights) == dict(direct.node_weights)
+
+    def test_rollup_movielens_pairs(self, small_movielens):
+        store = MaterializedStore(small_movielens)
+        time = small_movielens.timeline.labels[0]
+        all_attrs = ["gender", "age", "occupation", "rating"]
+        for subset in (["gender"], ["gender", "age"], ["rating", "occupation"]):
+            derived = store.rollup_aggregate(all_attrs, subset, time)
+            direct = aggregate(small_movielens, subset, times=[time])
+            assert dict(derived.node_weights) == dict(direct.node_weights)
+            assert dict(derived.edge_weights) == dict(direct.edge_weights)
+
+    def test_rollup_counts_derivations(self, store, small_dblp):
+        time = small_dblp.timeline.labels[0]
+        store.rollup_aggregate(["gender", "publications"], ["gender"], time)
+        assert store.stats.derived == 1
+
+    def test_rollup_reuses_superset_cache(self, store, small_dblp):
+        time = small_dblp.timeline.labels[0]
+        store.rollup_aggregate(["gender", "publications"], ["gender"], time)
+        store.rollup_aggregate(
+            ["gender", "publications"], ["publications"], time
+        )
+        assert store.stats.misses == 1
+        assert store.stats.hits == 1

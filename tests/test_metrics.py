@@ -1,0 +1,102 @@
+"""Tests for the analysis metrics."""
+
+import pytest
+
+from repro.analysis import densification, homophily, stability_ratio, turnover
+from repro.core import AggregateGraph, aggregate, aggregate_evolution, union
+
+
+class TestHomophily:
+    def test_paper_union_graph(self, paper_graph):
+        agg = aggregate(union(paper_graph, ["t0", "t1"]), ["gender"])
+        # Edges: (u1,u2) m->f, (u2,u3) f->f, (u1,u4) m->f, (u4,u2) f->f.
+        assert homophily(agg) == 0.5
+
+    def test_perfect_homophily(self):
+        agg = AggregateGraph(
+            ("g",), {("a",): 2}, {(("a",), ("a",)): 5}
+        )
+        assert homophily(agg) == 1.0
+
+    def test_zero_homophily(self):
+        agg = AggregateGraph(
+            ("g",), {("a",): 1, ("b",): 1}, {(("a",), ("b",)): 5}
+        )
+        assert homophily(agg) == 0.0
+
+    def test_edgeless_rejected(self):
+        agg = AggregateGraph(("g",), {("a",): 1}, {})
+        with pytest.raises(ValueError):
+            homophily(agg)
+
+    def test_weighted(self):
+        agg = AggregateGraph(
+            ("g",),
+            {("a",): 1, ("b",): 1},
+            {(("a",), ("a",)): 3, (("a",), ("b",)): 1},
+        )
+        assert homophily(agg) == 0.75
+
+
+class TestTurnover:
+    def test_paper_edges(self, paper_graph):
+        evo = aggregate_evolution(paper_graph, ["t0"], ["t1"], ["gender"])
+        # St=1, Gr=1, Shr=2 -> churn 3/4.
+        assert turnover(evo) == 0.75
+
+    def test_paper_nodes(self, paper_graph):
+        evo = aggregate_evolution(paper_graph, ["t0"], ["t1"], ["gender"])
+        # St=3, Gr=0, Shr=1 -> churn 1/4.
+        assert turnover(evo, entity="nodes") == 0.25
+
+    def test_bad_entity(self, paper_graph):
+        evo = aggregate_evolution(paper_graph, ["t0"], ["t1"], ["gender"])
+        with pytest.raises(ValueError):
+            turnover(evo, entity="triangles")
+
+    def test_empty_rejected(self, paper_graph):
+        evo = aggregate_evolution(paper_graph, ["t0"], ["t1"], ["gender"])
+        empty = type(evo)(
+            attributes=evo.attributes,
+            old_times=evo.old_times,
+            new_times=evo.new_times,
+            node_weights={},
+            edge_weights={},
+        )
+        with pytest.raises(ValueError):
+            turnover(empty)
+
+
+class TestStabilityRatio:
+    def test_edges_t0_t1(self, paper_graph):
+        # t0 edges: 3; t1 edges: 2; common: 1; union: 4.
+        assert stability_ratio(paper_graph, ["t0"], ["t1"]) == 0.25
+
+    def test_nodes_t0_t1(self, paper_graph):
+        # t0 nodes: u1-u4; t1 nodes: u1, u2, u4 -> 3/4.
+        assert stability_ratio(paper_graph, ["t0"], ["t1"], entity="nodes") == 0.75
+
+    def test_identical_windows(self, paper_graph):
+        assert stability_ratio(paper_graph, ["t0"], ["t0"]) == 1.0
+
+    def test_window_semantics_are_union(self, paper_graph):
+        value = stability_ratio(paper_graph, ["t0", "t1"], ["t2"], entity="nodes")
+        # Window nodes: {u1..u4} vs {u2, u4, u5}: common 2, union 5.
+        assert value == pytest.approx(0.4)
+
+    def test_bad_entity(self, paper_graph):
+        with pytest.raises(ValueError):
+            stability_ratio(paper_graph, ["t0"], ["t1"], entity="paths")
+
+
+class TestDensification:
+    def test_series_shape(self, paper_graph):
+        series = densification(paper_graph)
+        assert [t for t, _ in series] == ["t0", "t1", "t2"]
+        assert series[0][1] == 0.75  # 3 edges / 4 nodes
+
+    def test_dblp_densifies(self, small_dblp):
+        series = densification(small_dblp)
+        first = series[0][1]
+        last = series[-1][1]
+        assert last > first  # the Table 3 trend

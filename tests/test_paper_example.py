@@ -1,0 +1,89 @@
+"""End-to-end checks of every number the paper states for its running
+example (Figure 1, Table 2, Figures 2-4)."""
+
+from repro.core import aggregate, aggregate_evolution, union
+from repro.datasets import paper_example
+from repro.datasets.example import EDGES, GENDER, PRESENCE, PUBLICATIONS, TIMES
+
+
+class TestTable2:
+    """The storage arrays V, S, A exactly as printed in Table 2."""
+
+    def test_array_v(self, paper_graph):
+        expected = {
+            "u1": [1, 1, 0],
+            "u2": [1, 1, 1],
+            "u3": [1, 0, 0],
+            "u4": [1, 1, 1],
+            "u5": [0, 0, 1],
+        }
+        for node, row in expected.items():
+            assert paper_graph.node_presence.row(node).tolist() == row
+
+    def test_array_s(self, paper_graph):
+        for node, gender in GENDER.items():
+            assert paper_graph.static_attrs.cell(node, "gender") == gender
+
+    def test_array_a(self, paper_graph):
+        pubs = paper_graph.varying_attrs["publications"]
+        expected = {
+            "u1": [3, 1, None],
+            "u2": [1, 1, 1],
+            "u3": [1, None, None],
+            "u4": [2, 1, 1],
+            "u5": [None, None, 3],
+        }
+        for node, row in expected.items():
+            assert pubs.row(node).tolist() == row
+
+    def test_timeline(self, paper_graph):
+        assert paper_graph.timeline.labels == TIMES
+
+
+class TestFigure2:
+    def test_union_membership(self, paper_graph):
+        u = union(paper_graph, ["t0"], ["t1"])
+        assert set(u.nodes) == {"u1", "u2", "u3", "u4"}
+        assert "u5" not in u.nodes
+
+
+class TestFigure3:
+    def test_dist_weight_f1(self, paper_graph):
+        u = union(paper_graph, ["t0"], ["t1"])
+        agg = aggregate(u, ["gender", "publications"], distinct=True)
+        assert agg.node_weight(("f", 1)) == 3
+
+    def test_all_weight_f1(self, paper_graph):
+        u = union(paper_graph, ["t0"], ["t1"])
+        agg = aggregate(u, ["gender", "publications"], distinct=False)
+        assert agg.node_weight(("f", 1)) == 4
+
+
+class TestFigure4:
+    def test_f1_evolution_weights(self, paper_graph):
+        evo = aggregate_evolution(
+            paper_graph, ["t0"], ["t1"], ["gender", "publications"]
+        )
+        weights = evo.node(("f", 1))
+        assert weights.stability == 1  # u2
+        assert weights.growth == 1     # u4's new (f,1) appearance at t1
+        assert weights.shrinkage == 1  # u3 removed after t0
+
+
+class TestDatasetModuleConsistency:
+    """The example module's declarative data matches the built graph."""
+
+    def test_rebuild_is_deterministic(self, paper_graph):
+        assert paper_example() == paper_graph
+
+    def test_presence_tables_consistent(self, paper_graph):
+        for node, times in PRESENCE.items():
+            assert paper_graph.node_times(node) == times
+
+    def test_edges_consistent(self, paper_graph):
+        for edge, times in EDGES.items():
+            assert paper_graph.edge_times(edge) == times
+
+    def test_publications_only_when_present(self):
+        for node, series in PUBLICATIONS.items():
+            assert set(series) == set(PRESENCE[node])

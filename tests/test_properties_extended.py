@@ -1,0 +1,158 @@
+"""Hypothesis properties for the extension subsystems: coarsening,
+group exploration, the query language and the event counter."""
+
+import itertools
+
+from hypothesis import given, settings, strategies as st
+
+from repro.core import TimeHierarchy, aggregate, coarsen, union
+from repro.exploration import (
+    EntityKind,
+    EventType,
+    ExtendSide,
+    Goal,
+    explore,
+    explore_groups,
+)
+from repro.query import parse
+from repro.query.ast import (
+    AggregateExpr,
+    EvolutionExpr,
+    ExploreExpr,
+    OperatorExpr,
+    WindowExpr,
+)
+from repro.testing import temporal_graphs
+
+
+@st.composite
+def graph_with_hierarchy(draw):
+    graph = draw(temporal_graphs(min_times=2, max_times=4))
+    width = draw(st.integers(1, len(graph.timeline)))
+    hierarchy = TimeHierarchy.regular(graph.timeline.labels, width=width)
+    return graph, hierarchy
+
+
+@settings(max_examples=50, deadline=None)
+@given(graph_with_hierarchy())
+def test_union_coarsening_preserves_distinct_aggregates(data):
+    """The DIST aggregate of a coarse unit equals the DIST aggregate of
+    the union window it covers."""
+    graph, hierarchy = data
+    coarse = coarsen(graph, hierarchy, "union")
+    for unit in coarse.timeline.labels:
+        members = [m for m in hierarchy.members(unit) if m in graph.timeline]
+        via_coarse = aggregate(coarse, ["gender"], distinct=True, times=[unit])
+        via_base = aggregate(
+            union(graph, members), ["gender"], distinct=True
+        )
+        assert dict(via_coarse.node_weights) == dict(via_base.node_weights)
+        assert dict(via_coarse.edge_weights) == dict(via_base.edge_weights)
+
+
+@settings(max_examples=50, deadline=None)
+@given(graph_with_hierarchy())
+def test_intersection_coarsening_is_subset_of_union(data):
+    graph, hierarchy = data
+    strict = coarsen(graph, hierarchy, "intersection")
+    relaxed = coarsen(graph, hierarchy, "union")
+    assert set(strict.nodes) <= set(relaxed.nodes)
+    assert set(strict.edges) <= set(relaxed.edges)
+    for node in strict.nodes:
+        assert set(strict.node_times(node)) <= set(relaxed.node_times(node))
+
+
+@settings(max_examples=25, deadline=None)
+@given(temporal_graphs(), st.integers(1, 3))
+def test_group_explorer_matches_single_group(graph, k):
+    for event, goal, extend in itertools.product(
+        EventType, Goal, ExtendSide
+    ):
+        multi = explore_groups(
+            graph, event, goal, extend, k, ["gender"],
+            entity=EntityKind.NODES,
+        )
+        for key, pairs in multi.pairs_by_group.items():
+            single = explore(
+                graph, event, goal, extend, k,
+                entity=EntityKind.NODES, attributes=["gender"], key=key,
+            )
+            assert pairs == single.pairs
+
+
+# ---------------------------------------------------------------------------
+# Query language: generated ASTs render to text that reparses identically.
+# ---------------------------------------------------------------------------
+
+values = st.one_of(
+    st.integers(0, 5000),
+    st.sampled_from(["t0", "May", "gender", "two words", "f"]),
+)
+windows = st.builds(
+    lambda a, b: WindowExpr(a, b),
+    values,
+    st.one_of(st.none(), values),
+)
+names = st.lists(
+    st.sampled_from(["gender", "age", "rating", "publications"]),
+    min_size=1,
+    max_size=3,
+    unique=True,
+).map(tuple)
+
+operator_exprs = st.one_of(
+    st.builds(lambda w: OperatorExpr("project", (w,)), windows),
+    st.builds(lambda w: OperatorExpr("union", (w,)), windows),
+    st.builds(
+        lambda a, b: OperatorExpr("union", (a, b)), windows, windows
+    ),
+    st.builds(
+        lambda a, b: OperatorExpr("intersection", (a, b)), windows, windows
+    ),
+    st.builds(
+        lambda a, b: OperatorExpr("difference", (a, b)), windows, windows
+    ),
+)
+
+aggregate_exprs = st.builds(
+    AggregateExpr,
+    attributes=names,
+    distinct=st.booleans(),
+    source=operator_exprs,
+)
+
+evolution_exprs = st.builds(
+    EvolutionExpr, old=windows, new=windows, attributes=names
+)
+
+tuples = st.lists(values, min_size=1, max_size=2).map(tuple)
+explore_exprs = st.builds(
+    lambda event, goal, extend, k, entity, attributes, key_parts: ExploreExpr(
+        event, goal, extend, k, entity, attributes,
+        None
+        if key_parts is None
+        else (key_parts if entity == "nodes" else (key_parts, key_parts)),
+    ),
+    event=st.sampled_from(["stability", "growth", "shrinkage"]),
+    goal=st.sampled_from(["minimal", "maximal"]),
+    extend=st.sampled_from(["old", "new"]),
+    k=st.integers(1, 10 ** 6),
+    entity=st.sampled_from(["nodes", "edges"]),
+    attributes=names,
+    key_parts=st.one_of(st.none(), tuples),
+)
+
+query_exprs = st.one_of(
+    operator_exprs, aggregate_exprs, evolution_exprs, explore_exprs
+)
+
+
+@settings(max_examples=200, deadline=None)
+@given(query_exprs)
+def test_ast_to_text_roundtrip(expr):
+    """str(expr) is valid query syntax that parses back to an
+    equivalent AST (integer-looking string labels may rebind to ints,
+    which the evaluator treats identically)."""
+    text = str(expr)
+    reparsed = parse(text)
+    assert str(reparsed) == text

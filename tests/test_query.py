@@ -1,0 +1,226 @@
+"""Tests for the query language: lexer, parser, evaluator."""
+
+import pytest
+
+from repro.core import aggregate, aggregate_evolution, intersection, union
+from repro.exploration import EventType, ExtendSide, Goal, explore
+from repro.query import (
+    AggregateExpr,
+    EvolutionExpr,
+    ExploreExpr,
+    OperatorExpr,
+    QueryBindingError,
+    QuerySyntaxError,
+    WindowExpr,
+    parse,
+    run_query,
+    tokenize,
+)
+
+
+class TestLexer:
+    def test_words_and_numbers(self):
+        tokens = tokenize("union [2000..2003]")
+        kinds = [t.kind for t in tokens]
+        assert kinds == ["WORD", "PUNCT", "NUMBER", "PUNCT", "NUMBER", "PUNCT", "END"]
+
+    def test_strings(self):
+        tokens = tokenize("['May'..\"Aug\"]")
+        assert tokens[1].kind == "STRING" and tokens[1].text == "May"
+        assert tokens[3].text == "Aug"
+
+    def test_arrow_and_range_are_single_tokens(self):
+        tokens = tokenize("-> ..")
+        assert [t.text for t in tokens[:-1]] == ["->", ".."]
+
+    def test_negative_number(self):
+        tokens = tokenize("k -5")
+        assert tokens[1].kind == "NUMBER" and tokens[1].text == "-5"
+
+    def test_unterminated_string(self):
+        with pytest.raises(QuerySyntaxError):
+            tokenize("['May]")
+
+    def test_unknown_character(self):
+        with pytest.raises(QuerySyntaxError):
+            tokenize("union @ [t0]")
+
+    def test_positions_recorded(self):
+        tokens = tokenize("union [t0]")
+        assert tokens[0].position == 0
+        assert tokens[1].position == 6
+
+
+class TestParser:
+    def test_operator_single_window(self):
+        expr = parse("project [t0..t2]")
+        assert expr == OperatorExpr(
+            "project", (WindowExpr("t0", "t2"),)
+        )
+
+    def test_operator_two_windows(self):
+        expr = parse("union [2000], [2005..2006]")
+        assert isinstance(expr, OperatorExpr)
+        assert expr.windows[0] == WindowExpr(2000)
+        assert expr.windows[1] == WindowExpr(2005, 2006)
+
+    def test_intersection_requires_two_windows(self):
+        with pytest.raises(QuerySyntaxError):
+            parse("intersection [t0]")
+
+    def test_difference_requires_two_windows(self):
+        with pytest.raises(QuerySyntaxError):
+            parse("difference [t0]")
+
+    def test_aggregate_defaults_to_distinct(self):
+        expr = parse("aggregate gender over union [t0]")
+        assert isinstance(expr, AggregateExpr)
+        assert expr.distinct is True
+
+    def test_aggregate_all(self):
+        expr = parse("aggregate gender, publications all over union [t0..t1]")
+        assert expr.attributes == ("gender", "publications")
+        assert expr.distinct is False
+
+    def test_aggregate_requires_over(self):
+        with pytest.raises(QuerySyntaxError):
+            parse("aggregate gender union [t0]")
+
+    def test_evolution(self):
+        expr = parse("evolution [2000..2009] -> [2010] by gender")
+        assert expr == EvolutionExpr(
+            WindowExpr(2000, 2009), WindowExpr(2010), ("gender",)
+        )
+
+    def test_explore_full_form(self):
+        expr = parse(
+            "explore growth minimal extend new k 10 on edges by gender key f -> m"
+        )
+        assert isinstance(expr, ExploreExpr)
+        assert expr.event == "growth"
+        assert expr.k == 10
+        assert expr.key == (("f",), ("m",))
+
+    def test_explore_defaults(self):
+        expr = parse("explore stability k 3")
+        assert expr.goal == "minimal"
+        assert expr.extend == "new"
+        assert expr.entity == "edges"
+        assert expr.attributes == ()
+        assert expr.key is None
+
+    def test_explore_edge_key_single_tuple_means_both_sides(self):
+        expr = parse("explore growth k 5 by gender key f")
+        assert expr.key == (("f",), ("f",))
+
+    def test_explore_node_key(self):
+        expr = parse("explore growth k 5 on nodes by gender key f")
+        assert expr.key == ("f",)
+
+    def test_explore_requires_k(self):
+        with pytest.raises(QuerySyntaxError):
+            parse("explore growth minimal")
+
+    def test_trailing_input_rejected(self):
+        with pytest.raises(QuerySyntaxError):
+            parse("union [t0] nonsense")
+
+    def test_unknown_verb(self):
+        with pytest.raises(QuerySyntaxError):
+            parse("summarize [t0]")
+
+    def test_quoted_attribute_names(self):
+        expr = parse("aggregate 'gender' over union [t0]")
+        assert expr.attributes == ("gender",)
+
+    def test_ast_str_roundtrips_meaningfully(self):
+        text = "aggregate gender distinct over union [t0], [t1]"
+        assert "aggregate gender" in str(parse(text))
+
+
+class TestEvaluator:
+    def test_operator_query(self, paper_graph):
+        result = run_query(paper_graph, "intersection [t0], [t1]")
+        assert result == intersection(paper_graph, ["t0"], ["t1"])
+
+    def test_union_span(self, paper_graph):
+        result = run_query(paper_graph, "union [t0..t2]")
+        assert result == union(paper_graph, ["t0", "t1", "t2"])
+
+    def test_aggregate_query_matches_api(self, paper_graph):
+        via_query = run_query(
+            paper_graph, "aggregate gender, publications over union [t0], [t1]"
+        )
+        direct = aggregate(
+            union(paper_graph, ["t0"], ["t1"]),
+            ["gender", "publications"],
+            distinct=True,
+        )
+        assert dict(via_query.node_weights) == dict(direct.node_weights)
+
+    def test_evolution_query(self, paper_graph):
+        via_query = run_query(
+            paper_graph, "evolution [t0] -> [t1] by gender, publications"
+        )
+        direct = aggregate_evolution(
+            paper_graph, ["t0"], ["t1"], ["gender", "publications"]
+        )
+        assert via_query.node(("f", 1)) == direct.node(("f", 1))
+
+    def test_explore_query(self, small_dblp):
+        via_query = run_query(
+            small_dblp, "explore growth minimal extend new k 10 by gender key f -> f"
+        )
+        direct = explore(
+            small_dblp, EventType.GROWTH, Goal.MINIMAL, ExtendSide.NEW, 10,
+            attributes=["gender"], key=(("f",), ("f",)),
+        )
+        assert via_query.pairs == direct.pairs
+
+    def test_integer_time_binding(self, small_dblp):
+        result = run_query(small_dblp, "union [2000..2002]")
+        assert result.timeline.labels == (2000, 2001, 2002)
+
+    def test_unknown_time_point(self, paper_graph):
+        with pytest.raises(QueryBindingError):
+            run_query(paper_graph, "union [t9]")
+
+    def test_unknown_attribute(self, paper_graph):
+        with pytest.raises(KeyError):
+            run_query(paper_graph, "aggregate height over union [t0]")
+
+    def test_string_labels_via_quotes(self, small_movielens):
+        result = run_query(small_movielens, "union ['May'..'Jul']")
+        assert result.timeline.labels == ("May", "Jun", "Jul")
+
+    def test_bare_word_labels(self, small_movielens):
+        result = run_query(small_movielens, "union [May], [Aug]")
+        assert set(result.timeline.labels) == {"May", "Aug"}
+
+    def test_project_two_windows_concatenates(self, paper_graph):
+        result = run_query(paper_graph, "project [t0], [t1]")
+        assert set(result.nodes) == {"u1", "u2", "u4"}
+
+
+class TestAstRoundTrip:
+    CORPUS = [
+        "project [t0..t2]",
+        "union [2000], [2005..2006]",
+        "intersection ['May'], ['Jun'..'Aug']",
+        "difference [t0..t1], [t2]",
+        "aggregate gender distinct over union [t0]",
+        "aggregate gender, publications all over union [t0..t2]",
+        "evolution [2000..2009] -> [2010] by gender",
+        "explore growth minimal extend new k 10 on edges by gender key f -> m",
+        "explore stability maximal extend old k 3 on nodes by gender key f",
+        "explore shrinkage k 7",
+    ]
+
+    @pytest.mark.parametrize("text", CORPUS)
+    def test_str_reparses_to_same_ast(self, text):
+        first = parse(text)
+        assert parse(str(first)) == first
+
+    def test_quoting_of_awkward_labels(self):
+        expr = parse("union ['two words'..'b-c']")
+        assert parse(str(expr)) == expr

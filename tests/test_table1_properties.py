@@ -1,0 +1,144 @@
+"""Empirical verification of Table 1: monotonicity and subset relations
+between the eight exploration cases."""
+
+import pytest
+
+from repro.core import Interval
+from repro.exploration import (
+    EventCounter,
+    EventType,
+    ExtendSide,
+    Goal,
+    Semantics,
+    Side,
+    explore,
+)
+
+
+def chain_counts(graph, event, extend, semantics, ref):
+    """Counts along one extension chain for a fixed reference point."""
+    counter = EventCounter(graph)
+    n = len(graph.timeline)
+    counts = []
+    if extend is ExtendSide.NEW:
+        old = Side.point(ref)
+        for stop in range(ref + 1, n):
+            counts.append(
+                counter.count(event, old, Side(Interval(ref + 1, stop), semantics))
+            )
+    else:
+        new = Side.point(ref + 1)
+        for start in range(ref, -1, -1):
+            counts.append(
+                counter.count(event, Side(Interval(start, ref), semantics), new)
+            )
+    return counts
+
+
+MONOTONE_CASES = [
+    # (event, extend, semantics, increasing?) — the Table 1 rows.
+    (EventType.GROWTH, ExtendSide.OLD, Semantics.UNION, False),
+    (EventType.GROWTH, ExtendSide.NEW, Semantics.UNION, True),
+    (EventType.GROWTH, ExtendSide.OLD, Semantics.INTERSECTION, True),
+    (EventType.GROWTH, ExtendSide.NEW, Semantics.INTERSECTION, False),
+    (EventType.SHRINKAGE, ExtendSide.OLD, Semantics.UNION, True),
+    (EventType.SHRINKAGE, ExtendSide.NEW, Semantics.UNION, False),
+    (EventType.SHRINKAGE, ExtendSide.OLD, Semantics.INTERSECTION, False),
+    (EventType.SHRINKAGE, ExtendSide.NEW, Semantics.INTERSECTION, True),
+    (EventType.STABILITY, ExtendSide.OLD, Semantics.UNION, True),
+    (EventType.STABILITY, ExtendSide.NEW, Semantics.UNION, True),
+    (EventType.STABILITY, ExtendSide.OLD, Semantics.INTERSECTION, False),
+    (EventType.STABILITY, ExtendSide.NEW, Semantics.INTERSECTION, False),
+]
+
+
+class TestMonotonicityColumns:
+    @pytest.mark.parametrize("event,extend,semantics,increasing", MONOTONE_CASES)
+    def test_monotonicity(self, small_dblp, event, extend, semantics, increasing):
+        n = len(small_dblp.timeline)
+        for ref in (0, n // 2, n - 2):
+            counts = chain_counts(small_dblp, event, extend, semantics, ref)
+            expected = sorted(counts, reverse=not increasing)
+            assert counts == expected, (
+                f"{event}/{extend}/{semantics} not "
+                f"{'increasing' if increasing else 'decreasing'} at ref {ref}: "
+                f"{counts}"
+            )
+
+    @pytest.mark.parametrize("event,extend,semantics,increasing", MONOTONE_CASES)
+    def test_monotonicity_on_movielens(
+        self, small_movielens, event, extend, semantics, increasing
+    ):
+        counts = chain_counts(small_movielens, event, extend, semantics, 0)
+        expected = sorted(counts, reverse=not increasing)
+        assert counts == expected
+
+
+class TestSubsetColumn:
+    """The '⊆ of' column: the degenerate minimal cases return a subset of
+    the U-Explore cases' pairs (as total point windows)."""
+
+    def _windows(self, result):
+        return {
+            (p.old.interval.start, p.old.interval.stop,
+             p.new.interval.start, p.new.interval.stop)
+            for p in result.pairs
+        }
+
+    def test_growth_min_subset(self, small_dblp):
+        # T_new - T_old(∪) results ⊆ T_new(∪) - T_old results.
+        for k in (1, 5, 20):
+            degenerate = explore(
+                small_dblp, EventType.GROWTH, Goal.MINIMAL, ExtendSide.OLD, k
+            )
+            full = explore(
+                small_dblp, EventType.GROWTH, Goal.MINIMAL, ExtendSide.NEW, k
+            )
+            assert self._windows(degenerate) <= self._windows(full)
+
+    def test_shrinkage_min_subset(self, small_dblp):
+        # T_old - T_new(∪) results ⊆ T_old(∪) - T_new results.
+        for k in (1, 5, 20):
+            degenerate = explore(
+                small_dblp, EventType.SHRINKAGE, Goal.MINIMAL, ExtendSide.NEW, k
+            )
+            full = explore(
+                small_dblp, EventType.SHRINKAGE, Goal.MINIMAL, ExtendSide.OLD, k
+            )
+            assert self._windows(degenerate) <= self._windows(full)
+
+
+class TestResultShapeColumns:
+    """Table 1's Left/Right columns: which side is a time point and which
+    may be an interval (or the longest interval)."""
+
+    def test_growth_max_extend_old_longest_interval(self, small_dblp):
+        result = explore(
+            small_dblp, EventType.GROWTH, Goal.MAXIMAL, ExtendSide.OLD, 1
+        )
+        for pair in result.pairs:
+            assert pair.new.is_point
+            assert pair.old.interval.start == 0  # the longest possible T_old
+
+    def test_shrinkage_max_extend_new_longest_interval(self, small_dblp):
+        n = len(small_dblp.timeline)
+        result = explore(
+            small_dblp, EventType.SHRINKAGE, Goal.MAXIMAL, ExtendSide.NEW, 1
+        )
+        for pair in result.pairs:
+            assert pair.old.is_point
+            assert pair.new.interval.stop == n - 1
+
+    def test_min_cases_reference_is_point(self, small_dblp):
+        result = explore(
+            small_dblp, EventType.GROWTH, Goal.MINIMAL, ExtendSide.NEW, 1
+        )
+        for pair in result.pairs:
+            assert pair.old.is_point  # the reference time point
+
+    def test_degenerate_min_both_points(self, small_dblp):
+        result = explore(
+            small_dblp, EventType.SHRINKAGE, Goal.MINIMAL, ExtendSide.NEW, 1
+        )
+        for pair in result.pairs:
+            assert pair.old.is_point and pair.new.is_point

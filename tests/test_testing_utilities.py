@@ -1,0 +1,50 @@
+"""Tests for the public test-utility module itself."""
+
+import pytest
+from hypothesis import given, settings
+
+from repro.core import aggregate
+from repro.diagnostics import check_graph
+from repro.testing import assert_same_aggregate, temporal_graphs
+
+
+@settings(max_examples=40, deadline=None)
+@given(temporal_graphs())
+def test_strategy_graphs_satisfy_invariants(graph):
+    """Every generated graph passes construction validation (implicit)
+    and the diagnostics audit reports no errors."""
+    findings = check_graph(graph)
+    assert not [f for f in findings if f.severity == "error"]
+
+
+@settings(max_examples=40, deadline=None)
+@given(temporal_graphs(min_times=3, max_times=3, min_nodes=4))
+def test_strategy_respects_bounds(graph):
+    assert len(graph.timeline) == 3
+    assert graph.n_nodes >= 4
+
+
+@settings(max_examples=20, deadline=None)
+@given(temporal_graphs())
+def test_strategy_attribute_schema(graph):
+    assert graph.static_attribute_names == ("gender",)
+    assert graph.varying_attribute_names == ("level",)
+
+
+class TestAssertSameAggregate:
+    def test_passes_on_identical(self, paper_graph):
+        a = aggregate(paper_graph, ["gender"], times=["t0"])
+        b = aggregate(paper_graph, ["gender"], times=["t0"])
+        assert_same_aggregate(a, b)
+
+    def test_fails_on_weight_difference(self, paper_graph):
+        a = aggregate(paper_graph, ["gender"], times=["t0"])
+        b = aggregate(paper_graph, ["gender"], times=["t1"])
+        with pytest.raises(AssertionError):
+            assert_same_aggregate(a, b)
+
+    def test_fails_on_mode_difference(self, paper_graph):
+        a = aggregate(paper_graph, ["gender"], distinct=True)
+        b = aggregate(paper_graph, ["gender"], distinct=False)
+        with pytest.raises(AssertionError):
+            assert_same_aggregate(a, b)

@@ -1,0 +1,104 @@
+"""Tests for event time series and the simple detectors."""
+
+import pytest
+
+from repro.analysis import (
+    EventSeries,
+    event_series,
+    largest_shift,
+    zscore_anomalies,
+)
+from repro.exploration import EntityKind, EventType
+
+
+class TestEventSeries:
+    def test_paper_graph_growth(self, paper_graph):
+        series = event_series(paper_graph, EventType.GROWTH)
+        assert series.steps == (("t0", "t1"), ("t1", "t2"))
+        assert series.counts == (1, 2)
+
+    def test_key_filter(self, paper_graph):
+        series = event_series(
+            paper_graph, EventType.GROWTH,
+            attributes=["gender"], key=(("f",), ("f",)),
+        )
+        assert series.counts == (1, 0)
+
+    def test_node_entity(self, paper_graph):
+        series = event_series(
+            paper_graph, EventType.SHRINKAGE, entity=EntityKind.NODES
+        )
+        assert series.counts == (1, 1)
+
+    def test_to_table(self, paper_graph):
+        series = event_series(paper_graph, EventType.GROWTH)
+        text = series.to_table()
+        assert "t0 -> t1" in text and "growth events" in text
+
+    def test_len(self, paper_graph):
+        assert len(event_series(paper_graph, EventType.GROWTH)) == 2
+
+
+class TestLargestShift:
+    def test_movielens_spike(self, small_movielens):
+        series = event_series(small_movielens, EventType.GROWTH)
+        index, delta = largest_shift(series)
+        # The biggest change surrounds the August spike.
+        months = [step[1] for step in series.steps]
+        assert months[index] in ("Aug", "Sep")
+        assert delta != 0
+
+    def test_manual_series(self):
+        series = EventSeries(
+            EventType.GROWTH, EntityKind.EDGES,
+            ((0, 1), (1, 2), (2, 3)), (5, 50, 48),
+        )
+        assert largest_shift(series) == (1, 45)
+
+    def test_negative_shift(self):
+        series = EventSeries(
+            EventType.GROWTH, EntityKind.EDGES,
+            ((0, 1), (1, 2)), (50, 5),
+        )
+        assert largest_shift(series) == (1, -45)
+
+    def test_too_short(self, paper_graph):
+        series = EventSeries(
+            EventType.GROWTH, EntityKind.EDGES, ((0, 1),), (3,)
+        )
+        with pytest.raises(ValueError):
+            largest_shift(series)
+
+
+class TestZscoreAnomalies:
+    def test_spike_detected(self):
+        series = EventSeries(
+            EventType.GROWTH, EntityKind.EDGES,
+            tuple((i, i + 1) for i in range(6)),
+            (10, 11, 9, 10, 60, 10),
+        )
+        anomalies = zscore_anomalies(series, threshold=1.5)
+        assert [i for i, _ in anomalies] == [4]
+        assert anomalies[0][1] > 1.5
+
+    def test_constant_series_has_none(self):
+        series = EventSeries(
+            EventType.GROWTH, EntityKind.EDGES,
+            ((0, 1), (1, 2)), (5, 5),
+        )
+        assert zscore_anomalies(series) == []
+
+    def test_empty_series(self):
+        series = EventSeries(EventType.GROWTH, EntityKind.EDGES, (), ())
+        assert zscore_anomalies(series) == []
+
+    def test_threshold_validation(self, paper_graph):
+        series = event_series(paper_graph, EventType.GROWTH)
+        with pytest.raises(ValueError):
+            zscore_anomalies(series, threshold=0)
+
+    def test_movielens_august(self, small_movielens):
+        series = event_series(small_movielens, EventType.GROWTH)
+        anomalies = zscore_anomalies(series, threshold=1.2)
+        hot_steps = {series.steps[i] for i, _ in anomalies}
+        assert any("Aug" in step for step in hot_steps)

@@ -1,0 +1,154 @@
+"""Tests for appending snapshots and incremental materialization."""
+
+import pytest
+
+from repro.core import (
+    SnapshotUpdate,
+    aggregate,
+    append_snapshot,
+    union,
+)
+from repro.materialize import IncrementalStore
+
+
+def make_update(time="t3"):
+    return SnapshotUpdate(
+        time=time,
+        nodes={
+            "u2": {"publications": 2},
+            "u5": {"publications": 1},
+            "u9": {"publications": 4},
+        },
+        static={"u9": {"gender": "f"}},
+        edges=[("u5", "u2"), ("u9", "u2")],
+    )
+
+
+class TestAppendSnapshot:
+    def test_timeline_extended(self, paper_graph):
+        extended = append_snapshot(paper_graph, make_update())
+        assert extended.timeline.labels == ("t0", "t1", "t2", "t3")
+
+    def test_original_untouched(self, paper_graph):
+        append_snapshot(paper_graph, make_update())
+        assert len(paper_graph.timeline) == 3
+        assert "u9" not in paper_graph.nodes
+
+    def test_new_node_added(self, paper_graph):
+        extended = append_snapshot(paper_graph, make_update())
+        assert "u9" in extended.nodes
+        assert extended.attribute_value("u9", "gender") == "f"
+        assert extended.node_times("u9") == ("t3",)
+
+    def test_returning_node(self, paper_graph):
+        extended = append_snapshot(paper_graph, make_update())
+        # u5 existed at t2, returns at t3.
+        assert extended.node_times("u5") == ("t2", "t3")
+        assert extended.attribute_value("u5", "publications", "t3") == 1
+
+    def test_absent_node_stays_absent(self, paper_graph):
+        extended = append_snapshot(paper_graph, make_update())
+        assert extended.node_times("u1") == ("t0", "t1")
+        assert extended.attribute_value("u1", "publications", "t3") is None
+
+    def test_existing_edge_extended(self, paper_graph):
+        extended = append_snapshot(paper_graph, make_update())
+        # (u5, u2) already existed at t2.
+        assert extended.edge_times(("u5", "u2")) == ("t2", "t3")
+
+    def test_new_edge_added(self, paper_graph):
+        extended = append_snapshot(paper_graph, make_update())
+        assert extended.edge_times(("u9", "u2")) == ("t3",)
+
+    def test_duplicate_time_rejected(self, paper_graph):
+        with pytest.raises(ValueError):
+            append_snapshot(
+                paper_graph, SnapshotUpdate(time="t2", nodes={})
+            )
+
+    def test_edge_endpoint_missing_from_snapshot(self, paper_graph):
+        update = SnapshotUpdate(
+            time="t3", nodes={"u2": {}}, edges=[("u2", "u4")]
+        )
+        with pytest.raises(ValueError):
+            append_snapshot(paper_graph, update)
+
+    def test_unknown_varying_attribute(self, paper_graph):
+        update = SnapshotUpdate(time="t3", nodes={"u2": {"citations": 9}})
+        with pytest.raises(KeyError):
+            append_snapshot(paper_graph, update)
+
+    def test_unknown_static_attribute(self, paper_graph):
+        update = SnapshotUpdate(
+            time="t3", nodes={"zz": {}}, static={"zz": {"height": 3}}
+        )
+        with pytest.raises(KeyError):
+            append_snapshot(paper_graph, update)
+
+    def test_appended_graph_supports_operators(self, paper_graph):
+        extended = append_snapshot(paper_graph, make_update())
+        agg = aggregate(
+            union(extended, ["t2"], ["t3"]), ["gender"], distinct=True
+        )
+        assert agg.node_weight(("f",)) == 3  # u2, u4, u9
+
+    def test_chained_appends(self, paper_graph):
+        extended = append_snapshot(paper_graph, make_update("t3"))
+        extended = append_snapshot(
+            extended,
+            SnapshotUpdate(time="t4", nodes={"u9": {"publications": 5}}),
+        )
+        assert extended.node_times("u9") == ("t3", "t4")
+
+
+class TestIncrementalStore:
+    def test_initial_totals(self, paper_graph):
+        store = IncrementalStore(paper_graph, [("gender",)])
+        direct = aggregate(paper_graph, ["gender"], distinct=False)
+        assert dict(store.union_total(["gender"]).node_weights) == dict(
+            direct.node_weights
+        )
+
+    def test_append_updates_totals(self, paper_graph):
+        store = IncrementalStore(paper_graph, [("gender",)])
+        extended = store.append(make_update())
+        direct = aggregate(extended, ["gender"], distinct=False)
+        assert dict(store.union_total(["gender"]).node_weights) == dict(
+            direct.node_weights
+        )
+        assert dict(store.union_total(["gender"]).edge_weights) == dict(
+            direct.edge_weights
+        )
+
+    def test_multiple_tracked_sets(self, paper_graph):
+        store = IncrementalStore(
+            paper_graph, [("gender",), ("publications",)]
+        )
+        extended = store.append(make_update())
+        for attrs in (["gender"], ["publications"]):
+            direct = aggregate(extended, attrs, distinct=False)
+            assert dict(store.union_total(attrs).node_weights) == dict(
+                direct.node_weights
+            )
+
+    def test_timepoint_access(self, paper_graph):
+        store = IncrementalStore(paper_graph, [("gender",)])
+        store.append(make_update())
+        point = store.timepoint_aggregate(["gender"], 3)
+        direct = aggregate(store.graph, ["gender"], distinct=False, times=["t3"])
+        assert dict(point.node_weights) == dict(direct.node_weights)
+
+    def test_untracked_rejected(self, paper_graph):
+        store = IncrementalStore(paper_graph, [("gender",)])
+        with pytest.raises(KeyError):
+            store.union_total(["publications"])
+
+    def test_duplicate_tracked_rejected(self, paper_graph):
+        with pytest.raises(ValueError):
+            IncrementalStore(paper_graph, [("gender",), ("gender",)])
+
+    def test_graph_property_tracks_appends(self, paper_graph):
+        store = IncrementalStore(paper_graph, [("gender",)])
+        assert store.graph is paper_graph
+        extended = store.append(make_update())
+        assert store.graph is extended
