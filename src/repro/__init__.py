@@ -7,6 +7,7 @@ materialization (:mod:`repro.materialize`) and datasets
 (:mod:`repro.datasets`).
 """
 
+from .errors import GraphTempoError
 from .core import (
     AggregateGraph,
     EvolutionAggregate,
@@ -32,6 +33,7 @@ from .session import GraphTempoSession
 __version__ = "1.0.0"
 
 __all__ = [
+    "GraphTempoError",
     "TemporalGraph",
     "TemporalGraphBuilder",
     "GraphIntegrityError",

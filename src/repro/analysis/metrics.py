@@ -20,6 +20,7 @@ from __future__ import annotations
 from collections.abc import Hashable, Iterable
 
 from ..core import AggregateGraph, EvolutionAggregate, TemporalGraph
+from ..errors import ValidationError
 
 __all__ = ["homophily", "turnover", "stability_ratio", "densification"]
 
@@ -33,7 +34,7 @@ def homophily(aggregate: AggregateGraph) -> float:
     """
     total = aggregate.total_edge_weight()
     if total == 0:
-        raise ValueError("homophily is undefined on an edgeless aggregate")
+        raise ValidationError("homophily is undefined on an edgeless aggregate")
     same = sum(
         weight
         for (source, target), weight in aggregate.edge_weights.items()
@@ -49,10 +50,10 @@ def turnover(evolution: EvolutionAggregate, entity: str = "edges") -> float:
     selects node or edge events.
     """
     if entity not in ("nodes", "edges"):
-        raise ValueError(f"entity must be 'nodes' or 'edges', got {entity!r}")
+        raise ValidationError(f"entity must be 'nodes' or 'edges', got {entity!r}")
     totals = evolution.totals() if entity == "nodes" else evolution.edge_totals()
     if totals.total == 0:
-        raise ValueError("turnover is undefined with no evolution events")
+        raise ValidationError("turnover is undefined with no evolution events")
     return (totals.growth + totals.shrinkage) / totals.total
 
 
@@ -69,7 +70,7 @@ def stability_ratio(
     sets.
     """
     if entity not in ("nodes", "edges"):
-        raise ValueError(f"entity must be 'nodes' or 'edges', got {entity!r}")
+        raise ValidationError(f"entity must be 'nodes' or 'edges', got {entity!r}")
     presence = (
         graph.node_presence if entity == "nodes" else graph.edge_presence
     )
@@ -77,7 +78,7 @@ def stability_ratio(
     new = set(presence.rows_any(tuple(new_times)))
     union_size = len(old | new)
     if union_size == 0:
-        raise ValueError("both windows are empty")
+        raise ValidationError("both windows are empty")
     return len(old & new) / union_size
 
 

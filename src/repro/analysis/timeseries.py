@@ -21,6 +21,7 @@ from typing import Any
 from ..bench.reporting import format_table
 from ..core import TemporalGraph
 from ..exploration import EntityKind, EventType, consecutive_event_counts
+from ..errors import ValidationError
 
 __all__ = ["EventSeries", "event_series", "largest_shift", "zscore_anomalies"]
 
@@ -71,7 +72,7 @@ def largest_shift(series: EventSeries) -> tuple[int, int]:
     two steps.
     """
     if len(series) < 2:
-        raise ValueError("a shift needs at least two steps")
+        raise ValidationError("a shift needs at least two steps")
     best_index, best_delta = 1, series.counts[1] - series.counts[0]
     for i in range(2, len(series)):
         delta = series.counts[i] - series.counts[i - 1]
@@ -89,7 +90,7 @@ def zscore_anomalies(
     A constant series has no anomalies (zero variance).
     """
     if threshold <= 0:
-        raise ValueError("threshold must be positive")
+        raise ValidationError("threshold must be positive")
     n = len(series)
     if n == 0:
         return []

@@ -12,6 +12,7 @@ import time
 from collections.abc import Callable
 from dataclasses import dataclass
 from typing import Any
+from ..errors import ValidationError
 
 __all__ = ["Measurement", "measure", "speedup"]
 
@@ -36,7 +37,7 @@ def measure(fn: Callable[[], Any], repeats: int = 3) -> Measurement:
     piggyback on the timed computation.
     """
     if repeats < 1:
-        raise ValueError("repeats must be at least 1")
+        raise ValidationError("repeats must be at least 1")
     durations = []
     result: Any = None
     for _ in range(repeats):

@@ -25,6 +25,7 @@ from typing import Any
 from ..frames import Table
 from .graph import TemporalGraph
 from .intervals import TimeSet
+from ..errors import AggregationError, UnknownLabelError
 
 __all__ = ["AggregateGraph", "aggregate", "AttributeTuple", "EdgeKey"]
 
@@ -95,7 +96,7 @@ class AggregateGraph:
             try:
                 positions.append(self.attributes.index(name))
             except ValueError:
-                raise KeyError(
+                raise UnknownLabelError(
                     f"attribute {name!r} is not part of this aggregate "
                     f"({self.attributes!r})"
                 ) from None
@@ -123,12 +124,12 @@ class AggregateGraph:
         because distinct nodes cannot be identified across summands.
         """
         if self.attributes != other.attributes:
-            raise ValueError(
+            raise AggregationError(
                 f"cannot combine aggregates on {self.attributes!r} and "
                 f"{other.attributes!r}"
             )
         if self.distinct or other.distinct:
-            raise ValueError(
+            raise AggregationError(
                 "distinct aggregates are not T-distributive; "
                 "recompute from the temporal graph instead"
             )
@@ -329,9 +330,9 @@ def aggregate(
         COUNT-weighted aggregate nodes and edges.
     """
     if not attributes:
-        raise ValueError("aggregation needs at least one attribute")
+        raise AggregationError("aggregation needs at least one attribute")
     if len(set(attributes)) != len(attributes):
-        raise ValueError(f"duplicate aggregation attributes: {attributes!r}")
+        raise AggregationError(f"duplicate aggregation attributes: {attributes!r}")
     if times is None:
         window: TimeSet = graph.timeline.labels
     else:

@@ -22,6 +22,7 @@ import numpy as np
 
 from ..frames import LabeledFrame
 from .graph import TemporalGraph
+from ..errors import AggregationError
 
 __all__ = ["with_derived_attribute", "with_degree_attribute", "degree_class"]
 
@@ -38,7 +39,7 @@ def with_derived_attribute(
     must not collide with an existing attribute.
     """
     if name in set(graph.attribute_names):
-        raise ValueError(f"attribute {name!r} already exists")
+        raise AggregationError(f"attribute {name!r} already exists")
     values = np.full((graph.n_nodes, len(graph.timeline)), None, dtype=object)
     presence = graph.node_presence.values
     for row, node in enumerate(graph.node_presence.row_labels):
@@ -67,7 +68,7 @@ def degree_class(degree: int, boundaries: Sequence[int] = (1, 3, 10)) -> str:
     after the zero bucket.
     """
     if degree < 0:
-        raise ValueError(f"degree cannot be negative: {degree}")
+        raise AggregationError(f"degree cannot be negative: {degree}")
     if degree == 0:
         return "0"
     previous = None
@@ -93,7 +94,7 @@ def with_degree_attribute(
     aggregation, keeping the attribute domain small.
     """
     if direction not in ("out", "in", "total"):
-        raise ValueError(
+        raise AggregationError(
             f"direction must be 'out', 'in' or 'total', got {direction!r}"
         )
     n_times = len(graph.timeline)

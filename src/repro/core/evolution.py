@@ -26,6 +26,7 @@ from .aggregation import AttributeTuple, EdgeKey, _node_tuple_table
 from .graph import TemporalGraph
 from .intervals import TimeSet
 from .operators import difference, intersection, ordered_times
+from ..errors import ValidationError
 
 __all__ = [
     "EvolutionGraph",
@@ -100,7 +101,7 @@ def evolution(
     old = ordered_times(graph, old_times)
     new = ordered_times(graph, new_times)
     if not old or not new:
-        raise ValueError("evolution requires two non-empty time sets")
+        raise ValidationError("evolution requires two non-empty time sets")
     return EvolutionGraph(
         old_times=old,
         new_times=new,
@@ -129,7 +130,7 @@ class EvolutionWeights:
         and shrinkage" plotted in the paper's Figure 12.
         """
         if kind not in ("stability", "growth", "shrinkage"):
-            raise ValueError(f"unknown event kind: {kind!r}")
+            raise ValidationError(f"unknown event kind: {kind!r}")
         if self.total == 0:
             return 0.0
         return getattr(self, kind) / self.total
@@ -215,11 +216,11 @@ def aggregate_evolution(
     paper reads off Figures 4b and 12.
     """
     if not attributes:
-        raise ValueError("evolution aggregation needs at least one attribute")
+        raise ValidationError("evolution aggregation needs at least one attribute")
     old = ordered_times(graph, old_times)
     new = ordered_times(graph, new_times)
     if not old or not new:
-        raise ValueError("evolution aggregation requires two non-empty time sets")
+        raise ValidationError("evolution aggregation requires two non-empty time sets")
     old_nodes, old_edges = _appearance_sets(graph, attributes, old)
     new_nodes, new_edges = _appearance_sets(graph, attributes, new)
 

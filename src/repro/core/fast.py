@@ -25,6 +25,7 @@ import numpy as np
 from .aggregation import AggregateGraph, AttributeTuple, EdgeKey, _split_attributes
 from .graph import TemporalGraph
 from .intervals import TimeSet
+from ..errors import AggregationError
 
 __all__ = ["aggregate_fast"]
 
@@ -82,9 +83,9 @@ def aggregate_fast(
 ) -> AggregateGraph:
     """Drop-in vectorized equivalent of :func:`repro.core.aggregate`."""
     if not attributes:
-        raise ValueError("aggregation needs at least one attribute")
+        raise AggregationError("aggregation needs at least one attribute")
     if len(set(attributes)) != len(attributes):
-        raise ValueError(f"duplicate aggregation attributes: {attributes!r}")
+        raise AggregationError(f"duplicate aggregation attributes: {attributes!r}")
     if times is None:
         window: TimeSet = graph.timeline.labels
     else:

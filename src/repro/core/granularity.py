@@ -23,6 +23,7 @@ import numpy as np
 from ..frames import LabeledFrame
 from .graph import TemporalGraph
 from .intervals import Timeline
+from ..errors import TemporalError, UnknownLabelError
 
 __all__ = ["TimeHierarchy", "coarsen"]
 
@@ -52,14 +53,14 @@ class TimeHierarchy:
             label: tuple(members) for label, members in units.items()
         }
         if not self._units:
-            raise ValueError("a hierarchy needs at least one unit")
+            raise TemporalError("a hierarchy needs at least one unit")
         self._unit_of: dict[Hashable, Hashable] = {}
         for label, members in self._units.items():
             if not members:
-                raise ValueError(f"unit {label!r} has no base time points")
+                raise TemporalError(f"unit {label!r} has no base time points")
             for member in members:
                 if member in self._unit_of:
-                    raise ValueError(
+                    raise TemporalError(
                         f"base time point {member!r} belongs to two units"
                     )
                 self._unit_of[member] = label
@@ -77,7 +78,7 @@ class TimeHierarchy:
         base labels (and ``index``).  The final window may be shorter.
         """
         if width < 1:
-            raise ValueError("window width must be at least 1")
+            raise TemporalError("window width must be at least 1")
         units: dict[Hashable, tuple[Hashable, ...]] = {}
         base = tuple(base_labels)
         for index, start in enumerate(range(0, len(base), width)):
@@ -95,14 +96,14 @@ class TimeHierarchy:
         try:
             return self._units[unit]
         except KeyError:
-            raise KeyError(f"unknown unit: {unit!r}") from None
+            raise UnknownLabelError(f"unknown unit: {unit!r}") from None
 
     def unit_of(self, base_label: Hashable) -> Hashable:
         """The unit containing a base time point."""
         try:
             return self._unit_of[base_label]
         except KeyError:
-            raise KeyError(f"time point {base_label!r} is in no unit") from None
+            raise UnknownLabelError(f"time point {base_label!r} is in no unit") from None
 
     def covers(self, timeline: Timeline) -> bool:
         """Whether every point of ``timeline`` belongs to some unit."""
@@ -111,7 +112,7 @@ class TimeHierarchy:
     def _validate_against(self, timeline: Timeline) -> None:
         missing = [t for t in timeline.labels if t not in self._unit_of]
         if missing:
-            raise ValueError(
+            raise TemporalError(
                 f"hierarchy does not cover base time points {missing[:5]!r}"
             )
         order = []
@@ -120,12 +121,12 @@ class TimeHierarchy:
             if not indices:
                 continue
             if indices != list(range(indices[0], indices[0] + len(indices))):
-                raise ValueError(
+                raise TemporalError(
                     f"unit {unit!r} covers non-contiguous base time points"
                 )
             order.append(indices[0])
         if order != sorted(order):
-            raise ValueError("units are not in base timeline order")
+            raise TemporalError("units are not in base timeline order")
 
     def __len__(self) -> int:
         return len(self._units)
@@ -152,7 +153,7 @@ def coarsen(
     intersection semantics) are dropped.
     """
     if semantics not in ("union", "intersection"):
-        raise ValueError(
+        raise TemporalError(
             f"semantics must be 'union' or 'intersection', got {semantics!r}"
         )
     hierarchy._validate_against(graph.timeline)

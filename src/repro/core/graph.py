@@ -24,6 +24,7 @@ import numpy as np
 
 from ..frames import LabeledFrame
 from .intervals import Timeline
+from ..errors import UnknownLabelError, ValidationError
 
 __all__ = ["TemporalGraph", "TemporalGraphBuilder", "GraphIntegrityError"]
 
@@ -31,7 +32,7 @@ NodeId = Hashable
 EdgeId = tuple[Hashable, Hashable]
 
 
-class GraphIntegrityError(ValueError):
+class GraphIntegrityError(ValidationError):
     """The arrays handed to :class:`TemporalGraph` are mutually inconsistent."""
 
 
@@ -180,7 +181,7 @@ class TemporalGraph:
     def edge_attribute_value(self, edge: EdgeId, attribute: str) -> Any:
         """The value of one static edge attribute on one edge."""
         if self.edge_attrs is None:
-            raise KeyError("this graph has no edge attributes")
+            raise UnknownLabelError("this graph has no edge attributes")
         return self.edge_attrs.cell(edge, attribute)
 
     def is_static(self, attribute: str) -> bool:
@@ -189,7 +190,7 @@ class TemporalGraph:
             return True
         if attribute in self.varying_attrs:
             return False
-        raise KeyError(
+        raise UnknownLabelError(
             f"unknown attribute {attribute!r}; graph has {self.attribute_names!r}"
         )
 
@@ -212,7 +213,7 @@ class TemporalGraph:
         if self.is_static(attribute):
             return self.static_attrs.cell(node, attribute)
         if time is None:
-            raise ValueError(
+            raise ValidationError(
                 f"attribute {attribute!r} is time-varying; a time point is required"
             )
         return self.varying_attrs[attribute].cell(node, time)
@@ -354,7 +355,7 @@ class TemporalGraphBuilder:
         static = dict(static or {})
         unknown = set(static) - set(self._static_names)
         if unknown:
-            raise KeyError(f"unknown static attributes: {sorted(unknown)}")
+            raise UnknownLabelError(f"unknown static attributes: {sorted(unknown)}")
         record = self._nodes.setdefault(node, {})
         record.update(static)
         self._node_presence.setdefault(node, set())
@@ -365,12 +366,12 @@ class TemporalGraphBuilder:
         """Mark a node present at ``time`` and record its time-varying
         attribute values there."""
         if node not in self._nodes:
-            raise KeyError(f"add_node({node!r}) before setting presence")
+            raise UnknownLabelError(f"add_node({node!r}) before setting presence")
         self.timeline.index_of(time)  # validate
         self._node_presence[node].add(time)
         unknown = set(varying) - set(self._varying_names)
         if unknown:
-            raise KeyError(f"unknown time-varying attributes: {sorted(unknown)}")
+            raise UnknownLabelError(f"unknown time-varying attributes: {sorted(unknown)}")
         for name, value in varying.items():
             self._varying_values[name][(node, time)] = value
 
@@ -389,21 +390,21 @@ class TemporalGraphBuilder:
         attribute values for the declared ``edge_static`` attributes.
         """
         if u == v and not self._allow_self_loops:
-            raise ValueError(f"self loops are not allowed: {(u, v)!r}")
+            raise ValidationError(f"self loops are not allowed: {(u, v)!r}")
         for endpoint in (u, v):
             if endpoint not in self._nodes:
-                raise KeyError(f"edge endpoint {endpoint!r} is not a node")
+                raise UnknownLabelError(f"edge endpoint {endpoint!r} is not a node")
         static = dict(static or {})
         unknown = set(static) - set(self._edge_static_names)
         if unknown:
-            raise KeyError(f"unknown edge attributes: {sorted(unknown)}")
+            raise UnknownLabelError(f"unknown edge attributes: {sorted(unknown)}")
         record = self._edge_values.setdefault((u, v), {})
         record.update(static)
         presence = self._edges.setdefault((u, v), set())
         for time in times:
             self.timeline.index_of(time)
             if time not in self._node_presence[u] or time not in self._node_presence[v]:
-                raise ValueError(
+                raise ValidationError(
                     f"edge {(u, v)!r} cannot be active at {time!r}: "
                     "an endpoint is absent"
                 )
@@ -412,7 +413,7 @@ class TemporalGraphBuilder:
     def set_edge_presence(self, u: NodeId, v: NodeId, time: Hashable) -> None:
         """Mark an existing edge present at one more time point."""
         if (u, v) not in self._edges:
-            raise KeyError(f"add_edge({u!r}, {v!r}) before setting presence")
+            raise UnknownLabelError(f"add_edge({u!r}, {v!r}) before setting presence")
         self.add_edge(u, v, [time])
 
     def build(self, validate: bool = True) -> TemporalGraph:

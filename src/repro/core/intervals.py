@@ -13,6 +13,7 @@ from __future__ import annotations
 
 from collections.abc import Hashable, Iterable, Iterator, Sequence
 from dataclasses import dataclass
+from ..errors import TemporalError, TimeIndexError, UnknownLabelError
 
 __all__ = ["Interval", "Timeline", "TimeSet"]
 
@@ -34,9 +35,9 @@ class Interval:
 
     def __post_init__(self) -> None:
         if self.start < 0:
-            raise ValueError(f"interval start must be >= 0, got {self.start}")
+            raise TemporalError(f"interval start must be >= 0, got {self.start}")
         if self.stop < self.start:
-            raise ValueError(
+            raise TemporalError(
                 f"interval stop {self.stop} precedes start {self.start}"
             )
 
@@ -104,9 +105,9 @@ class Timeline:
         self._labels: tuple[Hashable, ...] = tuple(labels)
         self._index = {label: i for i, label in enumerate(self._labels)}
         if len(self._index) != len(self._labels):
-            raise ValueError("timeline labels must be unique")
+            raise TemporalError("timeline labels must be unique")
         if not self._labels:
-            raise ValueError("a timeline needs at least one time point")
+            raise TemporalError("a timeline needs at least one time point")
 
     @property
     def labels(self) -> tuple[Hashable, ...]:
@@ -134,11 +135,11 @@ class Timeline:
         try:
             return self._index[label]
         except KeyError:
-            raise KeyError(f"unknown time point: {label!r}") from None
+            raise UnknownLabelError(f"unknown time point: {label!r}") from None
 
     def label_at(self, index: int) -> Hashable:
         if not 0 <= index < len(self._labels):
-            raise IndexError(
+            raise TimeIndexError(
                 f"time index {index} out of range 0..{len(self._labels) - 1}"
             )
         return self._labels[index]
@@ -146,7 +147,7 @@ class Timeline:
     def labels_for(self, interval: Interval) -> TimeSet:
         """Time-point labels covered by an interval."""
         if interval.stop >= len(self._labels):
-            raise IndexError(
+            raise TimeIndexError(
                 f"interval {interval} exceeds timeline of {len(self._labels)} points"
             )
         return tuple(self._labels[i] for i in interval.indices())
@@ -160,10 +161,10 @@ class Timeline:
         """
         indices = sorted(self.index_of(label) for label in labels)
         if not indices:
-            raise ValueError("cannot build an interval from no labels")
+            raise TemporalError("cannot build an interval from no labels")
         interval = Interval(indices[0], indices[-1])
         if len(indices) != interval.length:
-            raise ValueError(f"labels {list(labels)!r} are not contiguous")
+            raise TemporalError(f"labels {list(labels)!r} are not contiguous")
         return interval
 
     def span(self, first: Hashable, last: Hashable) -> TimeSet:

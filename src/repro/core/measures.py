@@ -20,6 +20,7 @@ from typing import Any, Callable
 from .aggregation import AttributeTuple, EdgeKey, _node_tuple_table
 from .graph import TemporalGraph
 from .intervals import TimeSet
+from ..errors import AggregationError, UnknownLabelError
 
 __all__ = ["MeasureGraph", "aggregate_measure", "aggregate_edge_measure", "MEASURES"]
 
@@ -108,11 +109,11 @@ def aggregate_measure(
         3.0
     """
     if measure not in MEASURES:
-        raise ValueError(
+        raise AggregationError(
             f"unknown measure {measure!r}; choose from {sorted(MEASURES)}"
         )
     if measure_attribute in attributes:
-        raise ValueError(
+        raise AggregationError(
             f"measure attribute {measure_attribute!r} cannot also be a "
             "grouping attribute"
         )
@@ -214,13 +215,13 @@ def aggregate_edge_measure(
     time point the edge is active).
     """
     if graph.edge_attrs is None:
-        raise ValueError("this graph has no edge attributes")
+        raise AggregationError("this graph has no edge attributes")
     if measure not in MEASURES:
-        raise ValueError(
+        raise AggregationError(
             f"unknown measure {measure!r}; choose from {sorted(MEASURES)}"
         )
     if edge_attribute not in {str(c) for c in graph.edge_attrs.col_labels}:
-        raise KeyError(
+        raise UnknownLabelError(
             f"unknown edge attribute {edge_attribute!r}; graph has "
             f"{graph.edge_attribute_names!r}"
         )

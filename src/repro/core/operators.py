@@ -24,6 +24,7 @@ import numpy as np
 
 from .graph import TemporalGraph
 from .intervals import TimeSet
+from ..errors import TemporalError
 
 __all__ = [
     "project",
@@ -73,7 +74,7 @@ def project(graph: TemporalGraph, times: Iterable[Hashable]) -> TemporalGraph:
     """
     window = ordered_times(graph, times)
     if not window:
-        raise ValueError("cannot project onto an empty time set")
+        raise TemporalError("cannot project onto an empty time set")
     node_mask = graph.node_presence.all_mask(window)
     edge_mask = graph.edge_presence.all_mask(window)
     return _restrict_by_masks(graph, node_mask, edge_mask, window)
@@ -93,7 +94,7 @@ def union(
     """
     window = ordered_times(graph, t1, t2)
     if not window:
-        raise ValueError("cannot take the union over an empty time set")
+        raise TemporalError("cannot take the union over an empty time set")
     node_mask = graph.node_presence.any_mask(window)
     edge_mask = graph.edge_presence.any_mask(window)
     return _restrict_by_masks(graph, node_mask, edge_mask, window)
@@ -113,7 +114,7 @@ def intersection(
     first = ordered_times(graph, t1)
     second = ordered_times(graph, t2)
     if not first or not second:
-        raise ValueError("intersection requires two non-empty time sets")
+        raise TemporalError("intersection requires two non-empty time sets")
     window = ordered_times(graph, first, second)
     node_mask = graph.node_presence.any_mask(first) & graph.node_presence.any_mask(second)
     edge_mask = graph.edge_presence.any_mask(first) & graph.edge_presence.any_mask(second)
@@ -139,7 +140,7 @@ def difference(
     first = ordered_times(graph, t1)
     second = ordered_times(graph, t2)
     if not first:
-        raise ValueError("difference requires a non-empty left time set")
+        raise TemporalError("difference requires a non-empty left time set")
     edge_mask = graph.edge_presence.any_mask(first) & graph.edge_presence.none_mask(second)
     kept_endpoints: set[Hashable] = set()
     for edge, keep in zip(graph.edge_presence.row_labels, edge_mask):

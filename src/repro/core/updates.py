@@ -21,6 +21,7 @@ import numpy as np
 from ..frames import LabeledFrame
 from .graph import EdgeId, NodeId, TemporalGraph
 from .intervals import Timeline
+from ..errors import UnknownLabelError, ValidationError
 
 __all__ = ["SnapshotUpdate", "append_snapshot"]
 
@@ -58,7 +59,7 @@ class SnapshotUpdate:
 def append_snapshot(graph: TemporalGraph, update: SnapshotUpdate) -> TemporalGraph:
     """A new graph whose timeline ends with the update's time point."""
     if update.time in graph.timeline:
-        raise ValueError(f"time point {update.time!r} already exists")
+        raise ValidationError(f"time point {update.time!r} already exists")
     new_times = graph.timeline.labels + (update.time,)
 
     known_nodes = set(graph.node_presence.row_labels)
@@ -71,14 +72,14 @@ def append_snapshot(graph: TemporalGraph, update: SnapshotUpdate) -> TemporalGra
     for node, values in incoming.items():
         unknown = set(values) - set(varying_names)
         if unknown:
-            raise KeyError(
+            raise UnknownLabelError(
                 f"unknown time-varying attributes for {node!r}: {sorted(unknown)}"
             )
 
     edges = list(update.edges)
     for u, v in edges:
         if u not in incoming or v not in incoming:
-            raise ValueError(
+            raise ValidationError(
                 f"edge {(u, v)!r} references a node absent from the snapshot"
             )
 
@@ -95,7 +96,7 @@ def append_snapshot(graph: TemporalGraph, update: SnapshotUpdate) -> TemporalGra
         provided = dict(update.static.get(node, {}))
         unknown = set(provided) - {str(c) for c in static_names}
         if unknown:
-            raise KeyError(
+            raise UnknownLabelError(
                 f"unknown static attributes for {node!r}: {sorted(unknown)}"
             )
         for col, name in enumerate(static_names):
@@ -131,7 +132,7 @@ def append_snapshot(graph: TemporalGraph, update: SnapshotUpdate) -> TemporalGra
             provided = dict(update.edge_attrs.get(edge, {}))
             unknown = set(provided) - {str(c) for c in names}
             if unknown:
-                raise KeyError(
+                raise UnknownLabelError(
                     f"unknown edge attributes for {edge!r}: {sorted(unknown)}"
                 )
             for col, name in enumerate(names):

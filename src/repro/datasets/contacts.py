@@ -22,6 +22,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from ..core import TemporalGraph, TemporalGraphBuilder
+from ..errors import DatasetError
 
 __all__ = ["ContactNetworkConfig", "generate_contacts"]
 
@@ -65,14 +66,14 @@ class ContactNetworkConfig:
 
     def __post_init__(self) -> None:
         if self.days < 1:
-            raise ValueError("at least one day is required")
+            raise DatasetError("at least one day is required")
         if not 0 <= self.class_share + self.grade_share <= 1:
-            raise ValueError("class_share + grade_share must be within [0, 1]")
+            raise DatasetError("class_share + grade_share must be within [0, 1]")
         if self.closed_grade is not None and self.closed_grade not in self.grades:
-            raise ValueError(f"unknown grade to close: {self.closed_grade!r}")
+            raise DatasetError(f"unknown grade to close: {self.closed_grade!r}")
         for day in self.closure_days:
             if not 0 <= day < self.days:
-                raise ValueError(f"closure day {day} outside 0..{self.days - 1}")
+                raise DatasetError(f"closure day {day} outside 0..{self.days - 1}")
 
 
 def _draw_pair(

@@ -21,6 +21,7 @@ import numpy as np
 
 from ..core import TemporalGraph, Timeline
 from ..frames import LabeledFrame
+from ..errors import DatasetError
 
 __all__ = [
     "StaticAttributeSpec",
@@ -143,16 +144,16 @@ class EvolvingGraphConfig:
 
     def __post_init__(self) -> None:
         if len(self.node_targets) != len(self.times):
-            raise ValueError("node_targets must match times in length")
+            raise DatasetError("node_targets must match times in length")
         if len(self.edge_targets) != len(self.times):
-            raise ValueError("edge_targets must match times in length")
+            raise DatasetError("edge_targets must match times in length")
         if not 0.0 <= self.node_survival <= 1.0:
-            raise ValueError("node_survival must be in [0, 1]")
+            raise DatasetError("node_survival must be in [0, 1]")
         if not 0.0 <= self.edge_repeat <= 1.0:
-            raise ValueError("edge_repeat must be in [0, 1]")
+            raise DatasetError("edge_repeat must be in [0, 1]")
         for count in self.node_targets:
             if count < 1:
-                raise ValueError("every time point needs at least one node")
+                raise DatasetError("every time point needs at least one node")
 
     def scaled(self, scale: float) -> "EvolvingGraphConfig":
         """The same recipe with node/edge targets multiplied by ``scale``.
@@ -162,7 +163,7 @@ class EvolvingGraphConfig:
         ratio (survival, repetition, attribute domains).
         """
         if scale <= 0:
-            raise ValueError("scale must be positive")
+            raise DatasetError("scale must be positive")
         node_targets = tuple(max(2, round(n * scale)) for n in self.node_targets)
         edge_targets = tuple(
             max(1, round(m * scale**self.edge_scale_exponent))

@@ -23,6 +23,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from .core import TemporalGraph
+from .errors import ValidationError
 
 __all__ = ["Finding", "check_graph", "format_findings"]
 
@@ -39,7 +40,7 @@ class Finding:
 
     def __post_init__(self) -> None:
         if self.severity not in _SEVERITIES:
-            raise ValueError(f"unknown severity {self.severity!r}")
+            raise ValidationError(f"unknown severity {self.severity!r}")
 
     def __str__(self) -> str:
         return f"[{self.severity}] {self.code}: {self.message}"

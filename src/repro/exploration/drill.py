@@ -18,14 +18,14 @@ look without hiding true positives of at least unit size.
 
 from __future__ import annotations
 
-from collections.abc import Sequence
+from collections.abc import Iterator, Sequence
 from dataclasses import dataclass
 from typing import Any
 
 from ..core import TemporalGraph
 from ..core.granularity import TimeHierarchy, coarsen
 from .events import EntityKind, EventType
-from .explore import ExplorationResult, ExtendSide, Goal, explore
+from .explore import ExplorationResult, ExtendSide, Goal, IntervalPairResult, explore
 
 __all__ = ["DrillResult", "drill_explore"]
 
@@ -45,7 +45,7 @@ class DrillResult:
             r.evaluations for r in self.fine.values()
         )
 
-    def all_fine_pairs(self):
+    def all_fine_pairs(self) -> Iterator[IntervalPairResult]:
         """Every base-granularity pair found, across all drills."""
         for result in self.fine.values():
             yield from result.pairs

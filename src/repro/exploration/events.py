@@ -30,6 +30,7 @@ import numpy as np
 from ..core import TemporalGraph
 from ..core.aggregation import _node_tuple_table
 from .lattice import Semantics, Side
+from ..errors import ExplorationError
 
 __all__ = ["EventType", "EntityKind", "EventCounter"]
 
@@ -89,7 +90,7 @@ class EventCounter:
         self.attributes = tuple(attributes)
         self.key = key
         if key is not None and not self.attributes:
-            raise ValueError("a key filter requires aggregation attributes")
+            raise ExplorationError("a key filter requires aggregation attributes")
         self._node_presence = graph.node_presence.values.astype(bool)
         self._edge_presence = graph.edge_presence.values.astype(bool)
         self._all_static = all(graph.is_static(a) for a in self.attributes)

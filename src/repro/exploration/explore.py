@@ -39,6 +39,7 @@ from typing import Any
 from ..core import Interval, TemporalGraph
 from .events import EntityKind, EventCounter, EventType
 from .lattice import Semantics, Side
+from ..errors import ExplorationError
 
 __all__ = [
     "Goal",
@@ -281,7 +282,7 @@ def explore(
         paper's Figures 13/14.
     """
     if k < 1:
-        raise ValueError(f"threshold k must be positive, got {k}")
+        raise ExplorationError(f"threshold k must be positive, got {k}")
     counter = EventCounter(graph, entity=entity, attributes=attributes, key=key)
     if event is EventType.STABILITY:
         if goal is Goal.MINIMAL:
@@ -324,7 +325,7 @@ def exhaustive_explore(
     exactly as in :func:`explore`.
     """
     if k < 1:
-        raise ValueError(f"threshold k must be positive, got {k}")
+        raise ExplorationError(f"threshold k must be positive, got {k}")
     counter = EventCounter(graph, entity=entity, attributes=attributes, key=key)
     semantics = Semantics.UNION if goal is Goal.MINIMAL else Semantics.INTERSECTION
     n_times = len(graph.timeline)

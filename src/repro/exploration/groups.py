@@ -26,6 +26,7 @@ from ..core import Interval, TemporalGraph
 from .events import EntityKind, EventType
 from .explore import ExtendSide, Goal, IntervalPairResult
 from .lattice import Semantics, Side
+from ..errors import ExplorationError
 
 __all__ = ["GroupExplorationResult", "explore_groups"]
 
@@ -71,10 +72,10 @@ class _GroupCounter:
         attributes: Sequence[str],
     ) -> None:
         if not attributes:
-            raise ValueError("group exploration needs grouping attributes")
+            raise ExplorationError("group exploration needs grouping attributes")
         for name in attributes:
             if not graph.is_static(name):
-                raise ValueError(
+                raise ExplorationError(
                     f"group exploration requires static attributes; "
                     f"{name!r} is time-varying"
                 )
@@ -138,7 +139,7 @@ def explore_groups(
     cost — one chain walk total instead of one per group.
     """
     if k < 1:
-        raise ValueError(f"threshold k must be positive, got {k}")
+        raise ExplorationError(f"threshold k must be positive, got {k}")
     counter = _GroupCounter(graph, entity, attributes)
     n_times = len(graph.timeline)
     n_groups = len(counter.group_keys)

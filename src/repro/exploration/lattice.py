@@ -20,6 +20,7 @@ from collections.abc import Iterator
 from dataclasses import dataclass
 
 from ..core import Interval
+from ..errors import ExplorationError
 
 __all__ = ["Semantics", "Side", "right_chain", "left_chain"]
 
@@ -75,7 +76,7 @@ def right_chain(start: int, last: int, semantics: Semantics) -> Iterator[Side]:
     (newer) end of a pair.
     """
     if last < start:
-        raise ValueError(f"chain end {last} precedes start {start}")
+        raise ExplorationError(f"chain end {last} precedes start {start}")
     for stop in range(start, last + 1):
         yield Side(Interval(start, stop), semantics)
 
@@ -86,6 +87,6 @@ def left_chain(stop: int, first: int, semantics: Semantics) -> Iterator[Side]:
     The extension chain walked when growing the left (older) end.
     """
     if first > stop:
-        raise ValueError(f"chain start {first} exceeds end {stop}")
+        raise ExplorationError(f"chain start {first} exceeds end {stop}")
     for start in range(stop, first - 1, -1):
         yield Side(Interval(start, stop), semantics)

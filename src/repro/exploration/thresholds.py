@@ -17,6 +17,7 @@ from typing import Any
 from ..core import TemporalGraph
 from .events import EntityKind, EventCounter, EventType
 from .lattice import Side
+from ..errors import ExplorationError
 
 __all__ = ["consecutive_event_counts", "suggest_threshold", "threshold_ladder"]
 
@@ -52,14 +53,14 @@ def suggest_threshold(
     value, so a single empty pair does not collapse the suggestion.
     """
     if mode not in ("max", "min"):
-        raise ValueError(f"mode must be 'max' or 'min', got {mode!r}")
+        raise ExplorationError(f"mode must be 'max' or 'min', got {mode!r}")
     counts = consecutive_event_counts(
         graph, event, entity=entity, attributes=attributes, key=key
     )
     positive = [c for c in counts if c > 0]
     pool = positive or counts
     if not pool:
-        raise ValueError("graph has fewer than two time points")
+        raise ExplorationError("graph has fewer than two time points")
     return max(pool) if mode == "max" else min(pool)
 
 
@@ -73,6 +74,6 @@ def threshold_ladder(w_th: int, factors: Sequence[float]) -> list[int]:
     ladder = []
     for factor in factors:
         if factor <= 0:
-            raise ValueError(f"ladder factors must be positive, got {factor}")
+            raise ExplorationError(f"ladder factors must be positive, got {factor}")
         ladder.append(max(1, round(w_th * factor)))
     return ladder

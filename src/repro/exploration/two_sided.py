@@ -26,6 +26,7 @@ from ..core import Interval, TemporalGraph
 from .events import EntityKind, EventCounter, EventType
 from .explore import Goal
 from .lattice import Semantics, Side
+from ..errors import ExplorationError
 
 __all__ = [
     "TwoSidedPair",
@@ -73,7 +74,7 @@ def two_sided_counts(
                         (Interval(old_start, old_stop), Interval(new_start, new_stop))
                     )
     if len(pairs) > max_pairs:
-        raise ValueError(
+        raise ExplorationError(
             f"two-sided space has {len(pairs)} pairs (> {max_pairs}); "
             "shorten the timeline or raise max_pairs explicitly"
         )
@@ -141,7 +142,7 @@ def two_sided_explore(
     reference-point restriction avoids.
     """
     if k < 1:
-        raise ValueError(f"threshold k must be positive, got {k}")
+        raise ExplorationError(f"threshold k must be positive, got {k}")
     semantics = Semantics.UNION if goal is Goal.MINIMAL else Semantics.INTERSECTION
     passing = [
         p

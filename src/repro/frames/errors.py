@@ -4,13 +4,26 @@ The paper's algorithms (Section 4) are written against "labeled arrays":
 2-D arrays whose rows are labeled with node/edge identifiers and whose
 columns are labeled with time points or attribute names.  This package
 implements those arrays; all of its error conditions derive from
-:class:`FrameError` so callers can catch substrate failures uniformly.
+:class:`FrameError` so callers can catch substrate failures uniformly,
+and :class:`FrameError` itself derives from
+:class:`~repro.errors.GraphTempoError`, the root of the project-wide
+taxonomy (which re-exports every class below).
 """
 
 from __future__ import annotations
 
+from ..errors import GraphTempoError
 
-class FrameError(Exception):
+__all__ = [
+    "FrameError",
+    "LabelError",
+    "DuplicateLabelError",
+    "ShapeError",
+    "SchemaError",
+]
+
+
+class FrameError(GraphTempoError):
     """Base class for all labeled-array errors."""
 
 

@@ -17,6 +17,7 @@ import numpy as np
 
 from .labeled_frame import LabeledFrame
 from .table import Table
+from ..errors import ValidationError
 
 __all__ = [
     "write_frame_csv",
@@ -73,7 +74,7 @@ def read_frame_csv(
         return LabeledFrame.empty(col_labels)
     for row in rows:
         if len(row) != len(col_labels):
-            raise ValueError(
+            raise ValidationError(
                 f"{path}: row has {len(row)} fields, expected {len(col_labels)}"
             )
     # Build positionally (not via a dict) so duplicate row labels raise

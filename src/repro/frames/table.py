@@ -17,6 +17,8 @@ from __future__ import annotations
 from collections.abc import Hashable, Iterable, Iterator, Sequence
 from typing import Any, Callable
 
+import numpy as np
+
 from .errors import SchemaError
 from .labeled_frame import LabeledFrame
 
@@ -309,10 +311,16 @@ def unpivot(
     (the paper's "-" entries in Table 2, i.e. the node does not exist at
     that time) are dropped when ``drop_missing`` is set.
     """
-    rows: list[tuple[Hashable, Hashable, Any]] = []
-    for label, values in frame.iter_rows():
-        for col, value in zip(frame.col_labels, values):
-            if drop_missing and value is None:
-                continue
-            rows.append((label, col, value))
+    values = frame.values
+    if drop_missing and values.dtype == object:
+        keep = np.frompyfunc(lambda v: v is not None, 1, 1)(values).astype(bool)
+        row_idx, col_idx = np.nonzero(keep)
+    else:
+        row_idx, col_idx = np.nonzero(np.ones(values.shape, dtype=bool))
+    row_labels = frame.row_labels
+    col_labels = frame.col_labels
+    rows = [
+        (row_labels[i], col_labels[j], values[i, j])
+        for i, j in zip(row_idx.tolist(), col_idx.tolist())
+    ]
     return Table((row_name, col_name, value_name), rows)

@@ -20,6 +20,7 @@ from collections.abc import Hashable, Iterable, Mapping, Sequence
 import networkx as nx
 
 from ..core import AggregateGraph, TemporalGraph, TemporalGraphBuilder, union
+from ..errors import ValidationError
 
 __all__ = ["to_networkx", "from_snapshots", "aggregate_to_networkx"]
 
@@ -72,7 +73,7 @@ def from_snapshots(
     """
     times = tuple(snapshots)
     if not times:
-        raise ValueError("at least one snapshot is required")
+        raise ValidationError("at least one snapshot is required")
     builder = TemporalGraphBuilder(times, static=static, varying=varying)
     for time, snapshot in snapshots.items():
         for node, payload in snapshot.nodes(data=True):

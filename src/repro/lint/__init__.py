@@ -1,0 +1,41 @@
+"""`repro.lint` — an AST-based invariant linter for the GraphTempo codebase.
+
+The paper's algorithms rest on conventions nothing in Python enforces:
+temporal operators (Algorithm 1) and aggregation (Algorithm 2) must not
+mutate their input frames, hot paths must stay vectorized numpy
+(Section 4's storage model), failures must come from the
+:mod:`repro.errors` taxonomy.  This package checks those invariants
+statically, using only the stdlib :mod:`ast` module.
+
+Programmatic use::
+
+    from repro.lint import load_config, lint_paths
+    violations = lint_paths(["src"], load_config("pyproject.toml"))
+
+Command line::
+
+    python -m repro.lint src tests
+    python -m repro.lint --select GT003 src
+    python -m repro.lint --list-rules
+
+Rules are configured from ``[tool.repro-lint]`` in ``pyproject.toml``
+(see :mod:`repro.lint.config`) and suppressed per line with
+``# lint: ignore[GT001]`` (see :mod:`repro.lint.engine`).
+"""
+
+from .config import DEFAULTS, LintConfig, RuleSettings, load_config
+from .engine import Module, Rule, Violation, all_rules, lint_paths
+from .cli import main
+
+__all__ = [
+    "DEFAULTS",
+    "LintConfig",
+    "Module",
+    "Rule",
+    "RuleSettings",
+    "Violation",
+    "all_rules",
+    "lint_paths",
+    "load_config",
+    "main",
+]

@@ -1,0 +1,88 @@
+"""Command line front end: ``python -m repro.lint [paths...]``.
+
+Exit status: 0 when clean, 1 when violations were found, 2 on
+configuration or usage errors — the same contract as flake8/ruff, so CI
+can treat any non-zero status as a failure.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from collections.abc import Sequence
+from pathlib import Path
+
+from ..errors import ConfigurationError
+from .config import load_config, selected_rules
+from .engine import all_rules, lint_paths
+from .rules import rule_catalog
+
+__all__ = ["main"]
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.lint",
+        description="GraphTempo invariant linter (rules GT001-GT006).",
+    )
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        default=["src", "tests"],
+        help="files or directories to lint (default: src tests)",
+    )
+    parser.add_argument(
+        "--config",
+        metavar="PYPROJECT",
+        default=None,
+        help="pyproject.toml to read [tool.repro-lint] from "
+        "(default: ./pyproject.toml when present)",
+    )
+    parser.add_argument(
+        "--select",
+        metavar="RULES",
+        default=None,
+        help="comma-separated rule ids to run (e.g. GT001,GT003)",
+    )
+    parser.add_argument(
+        "--list-rules",
+        action="store_true",
+        help="print the rule catalog and exit",
+    )
+    parser.add_argument(
+        "-q",
+        "--quiet",
+        action="store_true",
+        help="suppress the summary line",
+    )
+    return parser
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    args = _build_parser().parse_args(argv)
+    if args.list_rules:
+        for rule_id, summary in rule_catalog():
+            print(f"{rule_id}  {summary}")
+        return 0
+    try:
+        config = load_config(args.config)
+        if args.select:
+            wanted = [part.strip() for part in args.select.split(",") if part.strip()]
+            unknown = sorted(set(wanted) - set(all_rules()))
+            if unknown:
+                raise ConfigurationError(f"unknown rule ids: {unknown}")
+            config = selected_rules(config, wanted)
+        violations = lint_paths([Path(p) for p in args.paths], config)
+    except ConfigurationError as exc:
+        print(f"repro.lint: error: {exc}", file=sys.stderr)
+        return 2
+    for violation in violations:
+        print(violation.render())
+    if not args.quiet:
+        noun = "violation" if len(violations) == 1 else "violations"
+        print(
+            f"repro.lint: {len(violations)} {noun} "
+            f"({len(config.select)} rules)",
+            file=sys.stderr,
+        )
+    return 1 if violations else 0

@@ -1,0 +1,467 @@
+"""The GraphTempo-specific lint rules, GT001-GT006.
+
+Each rule encodes an invariant the paper's algorithms assume but Python
+does not enforce; see ``docs/static_analysis.md`` for the full rationale
+of every rule and the configuration knobs it accepts.
+"""
+
+from __future__ import annotations
+
+import ast
+import sys
+from collections.abc import Iterator, Sequence
+
+from .engine import Module, Rule, Violation, register
+
+__all__ = [
+    "NoInputMutation",
+    "Vectorization",
+    "ErrorTaxonomy",
+    "DependencyHygiene",
+    "PublicApi",
+    "NoPrint",
+]
+
+
+def _base_name(node: ast.expr) -> str | None:
+    """The root ``Name`` of an attribute/subscript chain, if any."""
+    while isinstance(node, (ast.Attribute, ast.Subscript)):
+        node = node.value
+    if isinstance(node, ast.Name):
+        return node.id
+    return None
+
+
+def _bound_names(target: ast.expr) -> set[str]:
+    """Names *bound* by an assignment target (not mutated through)."""
+    if isinstance(target, ast.Name):
+        return {target.id}
+    if isinstance(target, (ast.Tuple, ast.List)):
+        names: set[str] = set()
+        for element in target.elts:
+            names |= _bound_names(element)
+        return names
+    if isinstance(target, ast.Starred):
+        return _bound_names(target.value)
+    return set()
+
+
+def _annotation_idents(annotation: ast.expr | None) -> set[str]:
+    """All identifiers appearing in an annotation, including inside
+    string (forward-reference) annotations."""
+    if annotation is None:
+        return set()
+    idents: set[str] = set()
+    stack: list[ast.AST] = [annotation]
+    while stack:
+        node = stack.pop()
+        if isinstance(node, ast.Name):
+            idents.add(node.id)
+        elif isinstance(node, ast.Attribute):
+            idents.add(node.attr)
+        elif isinstance(node, ast.Constant) and isinstance(node.value, str):
+            try:
+                stack.append(ast.parse(node.value, mode="eval").body)
+            except SyntaxError:
+                continue
+        stack.extend(ast.iter_child_nodes(node))
+    return idents
+
+
+@register
+class NoInputMutation(Rule):
+    """GT001: temporal operators and aggregation must not mutate inputs.
+
+    Algorithms 1 and 2 are defined as *functions* of their input graphs:
+    every operator builds a new graph.  This rule flags in-place writes
+    (``frame.values[...] = x``, ``frame.attr = x``, augmented
+    assignments, ``del``) and known mutating method calls on any
+    parameter annotated with a frame-like type, inside the configured
+    modules.
+    """
+
+    id = "GT001"
+    summary = "no in-place mutation of frame-typed parameters"
+
+    def check(self, module: Module) -> Iterator[Violation]:
+        frame_types = set(
+            self.settings.option("frame_types", ())
+        )
+        mutators = set(self.settings.option("mutating_methods", ()))
+        for node in ast.walk(module.tree):
+            if not isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                continue
+            tracked = self._tracked_params(node, frame_types)
+            if not tracked:
+                continue
+            yield from self._check_function(module, node, tracked, mutators)
+
+    @staticmethod
+    def _tracked_params(
+        func: ast.FunctionDef | ast.AsyncFunctionDef, frame_types: set[str]
+    ) -> set[str]:
+        args = func.args
+        tracked: set[str] = set()
+        for arg in [
+            *args.posonlyargs,
+            *args.args,
+            *args.kwonlyargs,
+            *filter(None, [args.vararg, args.kwarg]),
+        ]:
+            if _annotation_idents(arg.annotation) & frame_types:
+                tracked.add(arg.arg)
+        return tracked
+
+    def _check_function(
+        self,
+        module: Module,
+        func: ast.FunctionDef | ast.AsyncFunctionDef,
+        tracked: set[str],
+        mutators: set[str],
+    ) -> Iterator[Violation]:
+        # A parameter rebound anywhere in the function becomes a plain
+        # local; stop tracking it to avoid false positives.  Only plain
+        # name (or tuple-unpacking) targets rebind — an attribute or
+        # subscript target is a mutation, not a binding.
+        rebound: set[str] = set()
+        for node in ast.walk(func):
+            targets: list[ast.expr] = []
+            if isinstance(node, ast.Assign):
+                targets = node.targets
+            elif isinstance(node, (ast.AnnAssign, ast.AugAssign)):
+                targets = [node.target]
+            elif isinstance(node, (ast.For, ast.AsyncFor)):
+                targets = [node.target]
+            for target in targets:
+                rebound |= _bound_names(target) & tracked
+        live = tracked - rebound
+        if not live:
+            return
+        for node in ast.walk(func):
+            if isinstance(node, (ast.Assign, ast.AugAssign, ast.AnnAssign)):
+                targets = (
+                    node.targets
+                    if isinstance(node, ast.Assign)
+                    else [node.target]
+                )
+                for target in targets:
+                    if isinstance(target, (ast.Attribute, ast.Subscript)):
+                        name = _base_name(target)
+                        if name in live:
+                            yield self.violation(
+                                module,
+                                node,
+                                f"in-place write to frame parameter {name!r}; "
+                                "operators must build new frames "
+                                "(Algorithms 1-2 treat inputs as immutable)",
+                            )
+            elif isinstance(node, ast.Delete):
+                for target in node.targets:
+                    if isinstance(target, (ast.Attribute, ast.Subscript)):
+                        name = _base_name(target)
+                        if name in live:
+                            yield self.violation(
+                                module,
+                                node,
+                                f"del on frame parameter {name!r}; inputs are immutable",
+                            )
+            elif isinstance(node, ast.Call) and isinstance(
+                node.func, ast.Attribute
+            ):
+                if node.func.attr in mutators:
+                    name = _base_name(node.func.value)
+                    if name in live:
+                        yield self.violation(
+                            module,
+                            node,
+                            f"mutating call {name}.{node.func.attr}() on a frame "
+                            "parameter; inputs are immutable",
+                        )
+
+
+@register
+class Vectorization(Rule):
+    """GT002: hot paths must stay vectorized numpy.
+
+    Section 4's storage model exists so selection and aggregation run as
+    whole-array numpy operations.  This rule flags Python-level row
+    loops — ``for row in frame.iter_rows()``, ``for i in
+    range(frame.n_rows)``, ``for x in range(len(frame.row_labels))`` —
+    inside the configured hot modules, where a mask/select frame
+    primitive should be used instead.
+    """
+
+    id = "GT002"
+    summary = "no Python row loops in hot modules"
+
+    def check(self, module: Module) -> Iterator[Violation]:
+        row_attrs = set(self.settings.option("row_iteration_attrs", ()))
+        size_attrs = set(self.settings.option("size_attrs", ()))
+        len_attrs = set(self.settings.option("len_attrs", ()))
+        for node in ast.walk(module.tree):
+            iters: list[ast.expr] = []
+            if isinstance(node, (ast.For, ast.AsyncFor)):
+                iters = [node.iter]
+            elif isinstance(
+                node, (ast.ListComp, ast.SetComp, ast.DictComp, ast.GeneratorExp)
+            ):
+                iters = [gen.iter for gen in node.generators]
+            for candidate in iters:
+                reason = self._row_loop_reason(
+                    candidate, row_attrs, size_attrs, len_attrs
+                )
+                if reason:
+                    yield self.violation(
+                        module,
+                        candidate,
+                        f"python-level row loop ({reason}) in a hot module; "
+                        "use a vectorized frame primitive (masks/select) instead",
+                    )
+
+    @staticmethod
+    def _row_loop_reason(
+        node: ast.expr,
+        row_attrs: set[str],
+        size_attrs: set[str],
+        len_attrs: set[str],
+    ) -> str | None:
+        if (
+            isinstance(node, ast.Call)
+            and isinstance(node.func, ast.Attribute)
+            and node.func.attr in row_attrs
+        ):
+            return f".{node.func.attr}()"
+        if (
+            isinstance(node, ast.Call)
+            and isinstance(node.func, ast.Name)
+            and node.func.id == "range"
+        ):
+            for arg in node.args:
+                for sub in ast.walk(arg):
+                    if isinstance(sub, ast.Attribute) and sub.attr in size_attrs:
+                        return f"range over .{sub.attr}"
+                    if (
+                        isinstance(sub, ast.Call)
+                        and isinstance(sub.func, ast.Name)
+                        and sub.func.id == "len"
+                        and sub.args
+                        and isinstance(sub.args[0], ast.Attribute)
+                        and sub.args[0].attr in len_attrs
+                    ):
+                        return f"range over len(.{sub.args[0].attr})"
+        return None
+
+
+@register
+class ErrorTaxonomy(Rule):
+    """GT003: library code raises the repro error hierarchy.
+
+    Every failure surface derives from ``repro.errors.GraphTempoError``
+    so integrations can catch reproduction failures uniformly; bare
+    builtin raises fragment that contract.
+    """
+
+    id = "GT003"
+    summary = "raise repro.errors classes, not bare builtins"
+
+    def check(self, module: Module) -> Iterator[Violation]:
+        forbidden = set(self.settings.option("forbidden", ()))
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.Raise) or node.exc is None:
+                continue
+            exc = node.exc
+            name: str | None = None
+            if isinstance(exc, ast.Name):
+                name = exc.id
+            elif isinstance(exc, ast.Call) and isinstance(exc.func, ast.Name):
+                name = exc.func.id
+            if name in forbidden:
+                yield self.violation(
+                    module,
+                    node,
+                    f"raise of bare {name}; use a repro.errors class "
+                    "(e.g. ValidationError, UnknownLabelError) instead",
+                )
+
+
+@register
+class DependencyHygiene(Rule):
+    """GT004: the storage substrate and core depend only on numpy + stdlib.
+
+    Section 4's claim is that the whole framework runs on labeled numpy
+    arrays; optional integrations (networkx, plotting, ...) must stay in
+    outer layers so the kernel stays importable everywhere.
+    """
+
+    id = "GT004"
+    summary = "only numpy/stdlib/first-party imports in core modules"
+
+    def check(self, module: Module) -> Iterator[Violation]:
+        allow = set(self.settings.option("allow", ()))
+        first_party = set(self.settings.option("first_party", ()))
+        stdlib = set(sys.stdlib_module_names)
+        for node in ast.walk(module.tree):
+            tops: list[tuple[ast.AST, str]] = []
+            if isinstance(node, ast.Import):
+                tops = [(node, alias.name.split(".")[0]) for alias in node.names]
+            elif isinstance(node, ast.ImportFrom) and node.level == 0:
+                if node.module:
+                    tops = [(node, node.module.split(".")[0])]
+            for site, top in tops:
+                if top in stdlib or top in allow or top in first_party:
+                    continue
+                yield self.violation(
+                    module,
+                    site,
+                    f"third-party import {top!r} in a core module; only "
+                    f"{sorted(allow)} and the stdlib are allowed here",
+                )
+
+
+@register
+class PublicApi(Rule):
+    """GT005: public modules declare ``__all__`` and every name resolves.
+
+    An explicit ``__all__`` keeps the re-export surface (and
+    ``no_implicit_reexport`` under strict mypy) intentional.
+    """
+
+    id = "GT005"
+    summary = "public modules define a resolvable __all__"
+
+    def check(self, module: Module) -> Iterator[Violation]:
+        if any(
+            part.startswith("_") and not part.startswith("__")
+            for part in module.name.split(".")
+        ):
+            return
+        all_node, names, literal = self._find_all(module.tree)
+        if all_node is None:
+            yield Violation(
+                rule=self.id,
+                path=module.relpath,
+                line=1,
+                col=1,
+                message="public module defines no __all__",
+            )
+            return
+        if not literal:
+            return  # computed __all__: presence satisfied, cannot resolve
+        bound, wildcard = self._top_level_bindings(module.tree)
+        if wildcard:
+            return
+        for name in names:
+            if name not in bound:
+                yield self.violation(
+                    module,
+                    all_node,
+                    f"__all__ name {name!r} is not defined in the module",
+                )
+
+    @staticmethod
+    def _find_all(
+        tree: ast.Module,
+    ) -> tuple[ast.stmt | None, list[str], bool]:
+        found: ast.stmt | None = None
+        names: list[str] = []
+        literal = True
+        for node in tree.body:
+            target: ast.expr | None = None
+            value: ast.expr | None = None
+            if isinstance(node, ast.Assign) and len(node.targets) == 1:
+                target, value = node.targets[0], node.value
+            elif isinstance(node, ast.AnnAssign):
+                target, value = node.target, node.value
+            elif isinstance(node, ast.AugAssign):
+                target, value = node.target, None
+            if (
+                isinstance(target, ast.Name)
+                and target.id == "__all__"
+            ):
+                found = node
+                if isinstance(value, (ast.List, ast.Tuple)) and all(
+                    isinstance(el, ast.Constant) and isinstance(el.value, str)
+                    for el in value.elts
+                ):
+                    names.extend(
+                        el.value  # type: ignore[misc]
+                        for el in value.elts
+                        if isinstance(el, ast.Constant)
+                    )
+                else:
+                    literal = False
+        return found, names, literal
+
+    @staticmethod
+    def _top_level_bindings(tree: ast.Module) -> tuple[set[str], bool]:
+        bound: set[str] = set()
+        wildcard = False
+        # Walk top-level statements plus conditional/try blocks (version
+        # guards and optional imports still bind at module scope).
+        stack: list[ast.stmt] = list(tree.body)
+        while stack:
+            node = stack.pop()
+            if isinstance(
+                node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)
+            ):
+                bound.add(node.name)
+            elif isinstance(node, ast.Assign):
+                for target in node.targets:
+                    for leaf in ast.walk(target):
+                        if isinstance(leaf, ast.Name):
+                            bound.add(leaf.id)
+            elif isinstance(node, (ast.AnnAssign, ast.AugAssign)):
+                if isinstance(node.target, ast.Name):
+                    bound.add(node.target.id)
+            elif isinstance(node, ast.Import):
+                for alias in node.names:
+                    bound.add(alias.asname or alias.name.split(".")[0])
+            elif isinstance(node, ast.ImportFrom):
+                for alias in node.names:
+                    if alias.name == "*":
+                        wildcard = True
+                    else:
+                        bound.add(alias.asname or alias.name)
+            elif isinstance(node, (ast.If, ast.Try)):
+                stack.extend(getattr(node, "body", []))
+                stack.extend(getattr(node, "orelse", []))
+                stack.extend(getattr(node, "finalbody", []))
+                for handler in getattr(node, "handlers", []):
+                    stack.extend(handler.body)
+        if "__getattr__" in bound:
+            wildcard = True  # PEP 562 module __getattr__ can provide any name
+        return bound, wildcard
+
+
+@register
+class NoPrint(Rule):
+    """GT006: no ``print()`` outside the CLI surfaces.
+
+    Library output goes through :mod:`logging` so embedding applications
+    control verbosity; only the CLI and the lint reporter print.
+    """
+
+    id = "GT006"
+    summary = "no print() in library modules"
+
+    def check(self, module: Module) -> Iterator[Violation]:
+        for node in ast.walk(module.tree):
+            if (
+                isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Name)
+                and node.func.id == "print"
+            ):
+                yield self.violation(
+                    module,
+                    node,
+                    "print() in a library module; use the logging module",
+                )
+
+
+def rule_catalog() -> Sequence[tuple[str, str]]:
+    """(id, summary) for every rule, for ``--list-rules``."""
+    from .engine import all_rules
+
+    return sorted(
+        (rule_id, cls.summary) for rule_id, cls in all_rules().items()
+    )

@@ -15,6 +15,7 @@ from collections.abc import Sequence
 
 from ..core import AggregateGraph, TemporalGraph, aggregate
 from ..core.updates import SnapshotUpdate, append_snapshot
+from ..errors import MaterializationError, UnknownLabelError
 
 __all__ = ["IncrementalStore"]
 
@@ -38,7 +39,7 @@ class IncrementalStore:
         self._graph = graph
         self._tracked = [tuple(attrs) for attrs in tracked]
         if len(set(self._tracked)) != len(self._tracked):
-            raise ValueError("duplicate tracked attribute sets")
+            raise MaterializationError("duplicate tracked attribute sets")
         self._points: dict[tuple[str, ...], list[AggregateGraph]] = {}
         self._totals: dict[tuple[str, ...], AggregateGraph] = {}
         for attrs in self._tracked:
@@ -90,7 +91,7 @@ class IncrementalStore:
     def _key(self, attributes: Sequence[str]) -> tuple[str, ...]:
         key = tuple(attributes)
         if key not in self._points:
-            raise KeyError(
+            raise UnknownLabelError(
                 f"attribute set {key!r} is not tracked; tracked: {self._tracked!r}"
             )
         return key

@@ -26,6 +26,7 @@ from collections.abc import Hashable, Iterable, Sequence
 from dataclasses import dataclass
 
 from ..core import AggregateGraph, TemporalGraph, aggregate
+from ..errors import MaterializationError
 
 __all__ = ["MaterializedStore", "StoreStats"]
 
@@ -122,7 +123,7 @@ class MaterializedStore:
         """
         times = tuple(times)
         if not times:
-            raise ValueError("union_aggregate requires at least one time point")
+            raise MaterializationError("union_aggregate requires at least one time point")
         total: AggregateGraph | None = None
         for time in times:
             point = self.timepoint_aggregate(attributes, time, distinct=False)

@@ -27,6 +27,7 @@ from ..core import AggregateGraph, TemporalGraph, aggregate, union
 from ..core.granularity import TimeHierarchy
 from .lattice import Cuboid, canonical, smallest_superset
 from .operations import dice_aggregate, slice_aggregate
+from ..errors import UnknownLabelError, ValidationError
 
 __all__ = ["TemporalGraphCube", "CubeStats"]
 
@@ -105,7 +106,7 @@ class TemporalGraphCube:
                     if m in self.graph.timeline
                 )
             else:
-                raise KeyError(f"unknown time point or unit: {label!r}")
+                raise UnknownLabelError(f"unknown time point or unit: {label!r}")
         return tuple(dict.fromkeys(resolved))
 
     # ------------------------------------------------------------------
@@ -222,10 +223,10 @@ class TemporalGraphCube:
         """One roll-up step: drop ``remove`` from the attribute set."""
         cuboid = canonical(attributes, self.dimensions)
         if remove not in cuboid:
-            raise KeyError(f"{remove!r} is not part of {cuboid!r}")
+            raise UnknownLabelError(f"{remove!r} is not part of {cuboid!r}")
         target = tuple(a for a in cuboid if a != remove)
         if not target:
-            raise ValueError("cannot roll up the last attribute away")
+            raise ValidationError("cannot roll up the last attribute away")
         return self.cuboid(target, times=times, distinct=distinct)
 
     def drill_down(
@@ -238,7 +239,7 @@ class TemporalGraphCube:
         """One drill-down step: add ``add`` to the attribute set."""
         cuboid = canonical(attributes, self.dimensions)
         if add in cuboid:
-            raise KeyError(f"{add!r} is already part of {cuboid!r}")
+            raise UnknownLabelError(f"{add!r} is already part of {cuboid!r}")
         return self.cuboid(
             canonical(set(cuboid) | {add}, self.dimensions),
             times=times,

@@ -12,6 +12,7 @@ from __future__ import annotations
 
 import itertools
 from collections.abc import Iterable, Sequence
+from ..errors import UnknownLabelError
 
 __all__ = [
     "canonical",
@@ -34,7 +35,7 @@ def canonical(attributes: Iterable[str], dimensions: Sequence[str]) -> Cuboid:
     wanted = set(attributes)
     unknown = wanted - set(dimensions)
     if unknown:
-        raise KeyError(
+        raise UnknownLabelError(
             f"attributes {sorted(unknown)!r} are not cube dimensions "
             f"{list(dimensions)!r}"
         )

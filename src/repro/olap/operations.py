@@ -14,6 +14,7 @@ from collections.abc import Iterable, Mapping
 from typing import Any
 
 from ..core import AggregateGraph
+from ..errors import UnknownLabelError, ValidationError
 
 __all__ = ["slice_aggregate", "dice_aggregate", "drill_across"]
 
@@ -22,7 +23,7 @@ def _position(aggregate: AggregateGraph, attribute: str) -> int:
     try:
         return aggregate.attributes.index(attribute)
     except ValueError:
-        raise KeyError(
+        raise UnknownLabelError(
             f"attribute {attribute!r} is not part of this aggregate "
             f"({aggregate.attributes!r})"
         ) from None
@@ -103,7 +104,7 @@ def drill_across(
     comparisons (e.g. the diversity-action scenario of Section 1).
     """
     if left.attributes != right.attributes:
-        raise ValueError(
+        raise ValidationError(
             f"cannot drill across aggregates on {left.attributes!r} and "
             f"{right.attributes!r}"
         )

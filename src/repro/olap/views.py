@@ -22,6 +22,7 @@ from dataclasses import dataclass
 
 from ..core import TemporalGraph
 from .lattice import Cuboid, all_cuboids, supersets_of
+from ..errors import ValidationError
 
 __all__ = ["estimate_cuboid_sizes", "greedy_view_selection", "ViewSelection"]
 
@@ -90,7 +91,7 @@ def greedy_view_selection(
     every ``q ⊆ v`` to ``size(v)`` when that is an improvement.
     """
     if budget < 1:
-        raise ValueError("budget must allow at least one view")
+        raise ValidationError("budget must allow at least one view")
     sizes = estimate_cuboid_sizes(graph, dimensions)
     lattice = all_cuboids(dimensions)
     base_cost = float(graph.n_nodes) + float(graph.n_edges)

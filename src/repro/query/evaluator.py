@@ -39,15 +39,13 @@ from .ast import (
     WindowExpr,
 )
 from .parser import parse
+from ..errors import InvalidTypeError, UnknownLabelError
 
 __all__ = ["run_query", "evaluate", "bind_window", "QueryBindingError"]
 
 
-class QueryBindingError(KeyError):
+class QueryBindingError(UnknownLabelError):
     """A query referenced a time point or attribute the graph lacks."""
-
-    def __str__(self) -> str:
-        return Exception.__str__(self)
 
 
 def _bind_point(graph: TemporalGraph, label: Any) -> Hashable:
@@ -111,7 +109,7 @@ def evaluate(graph: TemporalGraph, expr: QueryExpr) -> Any:
             attributes=list(expr.attributes),
             key=expr.key,
         )
-    raise TypeError(f"unknown query expression: {expr!r}")
+    raise InvalidTypeError(f"unknown query expression: {expr!r}")
 
 
 def run_query(graph: TemporalGraph, text: str) -> Any:

@@ -18,10 +18,12 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from ..errors import ValidationError
+
 __all__ = ["Token", "QuerySyntaxError", "tokenize"]
 
 
-class QuerySyntaxError(ValueError):
+class QuerySyntaxError(ValidationError):
     """The query text could not be tokenized or parsed."""
 
 

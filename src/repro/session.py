@@ -40,6 +40,7 @@ from .exploration import (
     suggest_threshold,
 )
 from .olap import TemporalGraphCube
+from .errors import UnknownLabelError, ValidationError
 
 __all__ = ["GraphTempoSession"]
 
@@ -110,7 +111,7 @@ class GraphTempoSession:
                     if m in self.graph.timeline
                 )
             else:
-                raise KeyError(f"unknown time point or unit: {label!r}")
+                raise UnknownLabelError(f"unknown time point or unit: {label!r}")
         return tuple(dict.fromkeys(resolved))
 
     # ------------------------------------------------------------------
@@ -230,7 +231,7 @@ class GraphTempoSession:
     def zoom_out(self, semantics: str = "union") -> "GraphTempoSession":
         """A new session over the hierarchy-coarsened graph."""
         if self.hierarchy is None:
-            raise ValueError("zoom_out requires a session hierarchy")
+            raise ValidationError("zoom_out requires a session hierarchy")
         return GraphTempoSession(coarsen(self.graph, self.hierarchy, semantics))
 
     def query(self, text: str) -> Any:

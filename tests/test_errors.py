@@ -1,0 +1,95 @@
+"""The repro.errors taxonomy: hierarchy, builtin compatibility, re-exports."""
+
+from __future__ import annotations
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+import repro.errors as errors
+import repro.frames.errors as frame_errors
+from repro.core import GraphIntegrityError, Timeline, project
+from repro.datasets import paper_example
+from repro.query.evaluator import QueryBindingError
+from repro.query.lexer import QuerySyntaxError
+
+REPO = Path(__file__).resolve().parent.parent
+
+
+def test_every_taxonomy_class_roots_at_graphtempoerror() -> None:
+    for name in errors.__all__:
+        cls = getattr(errors, name)
+        assert issubclass(cls, errors.GraphTempoError), name
+
+
+def test_builtin_compatibility() -> None:
+    assert issubclass(errors.ValidationError, ValueError)
+    assert issubclass(errors.TemporalError, ValueError)
+    assert issubclass(errors.AggregationError, ValueError)
+    assert issubclass(errors.ExplorationError, ValueError)
+    assert issubclass(errors.DatasetError, ValueError)
+    assert issubclass(errors.InvalidTypeError, TypeError)
+    assert issubclass(errors.UnknownLabelError, KeyError)
+    assert issubclass(errors.TimeIndexError, IndexError)
+
+
+def test_existing_domain_errors_are_rebased() -> None:
+    assert issubclass(frame_errors.FrameError, errors.GraphTempoError)
+    assert issubclass(GraphIntegrityError, errors.ValidationError)
+    assert issubclass(QuerySyntaxError, errors.ValidationError)
+    assert issubclass(QueryBindingError, errors.UnknownLabelError)
+
+
+def test_frame_errors_reexported_by_identity() -> None:
+    assert errors.FrameError is frame_errors.FrameError
+    assert errors.LabelError is frame_errors.LabelError
+    assert errors.SchemaError is frame_errors.SchemaError
+
+
+def test_unknown_attribute_raises_attributeerror() -> None:
+    with pytest.raises(AttributeError):
+        errors.NoSuchError
+
+
+def test_reexport_survives_frames_first_import_order() -> None:
+    script = (
+        "import repro.frames, repro.errors; "
+        "assert repro.errors.FrameError is repro.frames.errors.FrameError; "
+        "assert issubclass(repro.frames.errors.FrameError, "
+        "repro.errors.GraphTempoError)"
+    )
+    subprocess.run(
+        [sys.executable, "-c", script],
+        check=True,
+        env={"PYTHONPATH": str(REPO / "src")},
+        timeout=120,
+    )
+
+
+def test_library_failures_are_catchable_uniformly() -> None:
+    graph = paper_example()
+    with pytest.raises(errors.GraphTempoError):
+        project(graph, [])
+    # ... and still satisfy the historical builtin contract:
+    with pytest.raises(ValueError):
+        project(graph, [])
+
+
+def test_unknown_label_message_stays_readable() -> None:
+    timeline = Timeline([2000, 2001])
+    with pytest.raises(errors.UnknownLabelError) as excinfo:
+        timeline.index_of(1999)
+    # no KeyError-style quoting of the whole message
+    assert str(excinfo.value) == "unknown time point: 1999"
+    with pytest.raises(KeyError):
+        timeline.index_of(1999)
+
+
+def test_time_index_error_is_index_error() -> None:
+    timeline = Timeline([2000, 2001])
+    with pytest.raises(errors.TimeIndexError):
+        timeline.label_at(99)
+    with pytest.raises(IndexError):
+        timeline.label_at(99)
