@@ -2,7 +2,7 @@
 I-Explore and threshold initialization."""
 
 from .drill import DrillResult, drill_explore
-from .events import EntityKind, EventCounter, EventType
+from .events import ChainEvaluator, ChainStep, EntityKind, EventCounter, EventType
 from .explore import (
     ExplorationResult,
     ExtendSide,
@@ -31,6 +31,8 @@ __all__ = [
     "EventType",
     "EntityKind",
     "EventCounter",
+    "ChainEvaluator",
+    "ChainStep",
     "Semantics",
     "Side",
     "right_chain",

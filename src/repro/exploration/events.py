@@ -13,26 +13,43 @@ Three event kinds are derived from an ordered pair of sides
 ``result(G)`` is the number of events of interest in the aggregate of the
 event graph: either the total entity count, or — as in the paper's
 Figures 13/14, which track female-female edges — the DIST weight of one
-aggregate entity.  :class:`EventCounter` precomputes presence matrices
-and (for static attributes) per-entity tuple matches, so a single count
-is a handful of vectorized mask operations; exploration runs thousands
-of counts.
+aggregate entity.  :class:`EventCounter` precomputes presence matrices,
+per-entity tuple matches (static attributes) and integer tuple-code
+matrices (time-varying attributes), so a single count is a handful of
+vectorized mask operations; exploration runs thousands of counts.
+
+:class:`ChainEvaluator` goes one step further for the exploration
+workload itself: along one semi-lattice extension chain, consecutive
+pairs differ by exactly one base time point, so the extended side's
+qualification mask can be maintained with a single OR/AND per step
+instead of re-reducing the whole growing window.
 """
 
 from __future__ import annotations
 
 import enum
-from collections.abc import Hashable, Sequence
+from collections.abc import Hashable, Iterator, Sequence
+from dataclasses import dataclass
 from typing import Any
 
 import numpy as np
 
-from ..core import TemporalGraph
-from ..core.aggregation import _node_tuple_table
-from .lattice import Semantics, Side
+from ..core import Interval, TemporalGraph
+from .lattice import ExtendSide, Semantics, Side
 from ..errors import ExplorationError
 
-__all__ = ["EventType", "EntityKind", "EventCounter"]
+__all__ = [
+    "EventType",
+    "EntityKind",
+    "EventCounter",
+    "ChainEvaluator",
+    "ChainStep",
+]
+
+#: Sentinel tuple code for a key whose tuple never occurs in the graph:
+#: distinct from every assigned code (>= 0) and from the "entity absent"
+#: marker (-1), so comparisons against it match nothing.
+_UNSEEN_CODE = -2
 
 
 class EventType(enum.Enum):
@@ -56,6 +73,17 @@ class EntityKind(enum.Enum):
         return self.value
 
 
+def _event_mask_from(
+    event: EventType, old_mask: np.ndarray, new_mask: np.ndarray
+) -> np.ndarray:
+    """Combine two side-qualification masks into the event-entity mask."""
+    if event is EventType.STABILITY:
+        return old_mask & new_mask
+    if event is EventType.GROWTH:
+        return new_mask & ~old_mask
+    return old_mask & ~new_mask
+
+
 class EventCounter:
     """Counts events of one kind of entity between two sides.
 
@@ -74,8 +102,12 @@ class EventCounter:
         for female-female edges).  ``None`` counts all entities.
 
     Static-attribute keys are resolved once into a boolean per-entity
-    match mask; time-varying attributes fall back to counting distinct
-    ``(entity, tuple)`` appearances inside the event window.
+    match mask.  Time-varying attributes fall back to counting distinct
+    ``(entity, tuple)`` appearances inside the event window; to keep
+    that path vectorized, the per-``(node, t)`` attribute tuples are
+    factorized once at construction into an integer code matrix, so each
+    count is a masked numpy reduction instead of a Python loop over
+    entities x window.
     """
 
     def __init__(
@@ -95,6 +127,16 @@ class EventCounter:
         self._edge_presence = graph.edge_presence.values.astype(bool)
         self._all_static = all(graph.is_static(a) for a in self.attributes)
         self._match_mask = self._build_match_mask() if self._all_static else None
+        #: Integer tuple code per (entity row, time column); -1 marks an
+        #: absent entity.  Only built for the time-varying fallback.
+        self._entity_codes: np.ndarray | None = None
+        #: Row stride for building distinct (entity, code) ids.
+        self._code_stride = 1
+        #: Resolved code of ``key`` (pair code for edges), or ``None``
+        #: when no key applies on the time-varying path.
+        self._key_code: int | None = None
+        if self.attributes and not self._all_static:
+            self._build_tuple_codes()
 
     # ------------------------------------------------------------------
     # Precomputation
@@ -136,6 +178,90 @@ class EventCounter:
             count=self.graph.n_edges,
         )
 
+    def _build_tuple_codes(self) -> None:
+        """Factorize per-``(node, t)`` attribute tuples into integer codes.
+
+        One pass over the node/time grid (the cost of a single
+        ``_node_tuple_table`` call, amortized over every subsequent
+        count) assigns each distinct attribute tuple an integer and
+        stores the per-cell codes in a dense matrix.  For edge entities
+        the endpoint codes are further combined into a single pair code
+        per ``(edge, t)`` cell, so distinct-appearance counting is one
+        ``np.unique`` over masked ids.
+        """
+        graph = self.graph
+        n_nodes, n_times = self._node_presence.shape
+        static_positions = {
+            name: graph.static_attrs.col_position(name)
+            for name in self.attributes
+            if graph.is_static(name)
+        }
+        varying_values = {
+            name: graph.varying_attrs[name].values
+            for name in self.attributes
+            if name not in static_positions
+        }
+        static_values = graph.static_attrs.values
+        code_of: dict[tuple[Any, ...], int] = {}
+        codes = np.full((n_nodes, n_times), -1, dtype=np.int64)
+        for row in range(n_nodes):
+            static_part = {
+                name: static_values[row, pos]
+                for name, pos in static_positions.items()
+            }
+            for col in range(n_times):
+                if not self._node_presence[row, col]:
+                    continue
+                values = tuple(
+                    static_part[name]
+                    if name in static_part
+                    else varying_values[name][row, col]
+                    for name in self.attributes
+                )
+                code = code_of.setdefault(values, len(code_of))
+                codes[row, col] = code
+        base = max(1, len(code_of))
+        if self.entity is EntityKind.NODES:
+            self._entity_codes = codes
+            self._code_stride = base
+            if self.key is not None:
+                self._key_code = code_of.get(tuple(self.key), _UNSEEN_CODE)
+            return
+        node_position = {
+            node: i for i, node in enumerate(graph.node_presence.row_labels)
+        }
+        source_rows = np.fromiter(
+            (
+                node_position[u]
+                for u, _ in graph.edge_presence.row_labels  # type: ignore[misc]
+            ),
+            dtype=np.int64,
+            count=graph.n_edges,
+        )
+        target_rows = np.fromiter(
+            (
+                node_position[v]
+                for _, v in graph.edge_presence.row_labels  # type: ignore[misc]
+            ),
+            dtype=np.int64,
+            count=graph.n_edges,
+        )
+        source_codes = codes[source_rows]
+        target_codes = codes[target_rows]
+        defined = (source_codes >= 0) & (target_codes >= 0)
+        self._entity_codes = np.where(
+            defined, source_codes * base + target_codes, -1
+        )
+        self._code_stride = base * base
+        if self.key is not None:
+            source_code = code_of.get(tuple(self.key[0]), -1)
+            target_code = code_of.get(tuple(self.key[1]), -1)
+            self._key_code = (
+                source_code * base + target_code
+                if source_code >= 0 and target_code >= 0
+                else _UNSEEN_CODE
+            )
+
     # ------------------------------------------------------------------
     # Side qualification
     # ------------------------------------------------------------------
@@ -154,13 +280,7 @@ class EventCounter:
 
     def event_mask(self, event: EventType, old: Side, new: Side) -> np.ndarray:
         """Boolean mask of entities participating in the event."""
-        old_mask = self._qualify(old)
-        new_mask = self._qualify(new)
-        if event is EventType.STABILITY:
-            return old_mask & new_mask
-        if event is EventType.GROWTH:
-            return new_mask & ~old_mask
-        return old_mask & ~new_mask
+        return _event_mask_from(event, self._qualify(old), self._qualify(new))
 
     def event_entities(
         self, event: EventType, old: Side, new: Side
@@ -180,66 +300,258 @@ class EventCounter:
 
     def count(self, event: EventType, old: Side, new: Side) -> int:
         """``result(G)`` for the event graph of ``(old, new)``."""
-        mask = self.event_mask(event, old, new)
+        return self.count_for_mask(
+            event, old, new, self.event_mask(event, old, new)
+        )
+
+    def count_for_mask(
+        self, event: EventType, old: Side, new: Side, mask: np.ndarray
+    ) -> int:
+        """``result(G)`` given a precomputed event-entity mask.
+
+        The mask must be the one :meth:`event_mask` would return for the
+        same pair; :class:`ChainEvaluator` maintains it incrementally
+        along extension chains instead of recomputing it per pair.
+        """
         if self._match_mask is not None:
             return int((mask & self._match_mask).sum())
         if self._all_static:
             return int(mask.sum())
         return self._count_appearances(event, old, new, mask)
 
+    def _event_window_indices(
+        self, event: EventType, old: Side, new: Side
+    ) -> list[int]:
+        """Timeline indices whose attribute values define the event's
+        tuples, deduplicated (overlapping stability sides would repeat
+        indices) and in timeline order."""
+        if event is EventType.GROWTH:
+            return list(new.interval.indices())
+        if event is EventType.SHRINKAGE:
+            return list(old.interval.indices())
+        return sorted(set(old.interval.indices()) | set(new.interval.indices()))
+
     def _event_window(self, event: EventType, old: Side, new: Side) -> list[Hashable]:
         """Time points whose attribute values define the event's tuples."""
         labels = self.graph.timeline.labels
-        if event is EventType.GROWTH:
-            interval = new.interval
-        elif event is EventType.SHRINKAGE:
-            interval = old.interval
-        else:
-            return [
-                labels[i]
-                for i in list(old.interval.indices()) + list(new.interval.indices())
-            ]
-        return [labels[i] for i in interval.indices()]
+        return [labels[i] for i in self._event_window_indices(event, old, new)]
 
     def _count_appearances(
         self, event: EventType, old: Side, new: Side, mask: np.ndarray
     ) -> int:
         """Fallback for time-varying attributes: distinct (entity, tuple)
-        appearances in the event window, optionally filtered by key."""
-        window = self._event_window(event, old, new)
-        node_table = _node_tuple_table(self.graph, self.attributes, tuple(window))
-        if self.entity is EntityKind.NODES:
-            kept_nodes = {
-                node
-                for node, keep in zip(self.graph.node_presence.row_labels, mask)
-                if keep
-            }
-            appearances = {
-                (node, values)
-                for node, _, values in node_table.rows
-                if node in kept_nodes
-            }
-            if self.key is None:
-                return len(appearances)
-            wanted = tuple(self.key)
-            return sum(1 for _, values in appearances if values == wanted)
-        lookup = {(node, t): values for node, t, values in node_table.rows}
-        time_positions = [self.graph.timeline.index_of(t) for t in window]
-        presence = self.graph.edge_presence.values
-        appearances_edges: set[tuple[Any, Any]] = set()
-        for row_idx, edge in enumerate(self.graph.edge_presence.row_labels):
-            if not mask[row_idx]:
-                continue
-            u, v = edge  # type: ignore[misc]
-            for t, t_pos in zip(window, time_positions):
-                if not presence[row_idx, t_pos]:
-                    continue
-                source = lookup.get((u, t))
-                target = lookup.get((v, t))
-                if source is None or target is None:
-                    continue
-                appearances_edges.add((edge, (source, target)))
-        if self.key is None:
-            return len(appearances_edges)
-        wanted_pair = (tuple(self.key[0]), tuple(self.key[1]))
-        return sum(1 for _, pair in appearances_edges if pair == wanted_pair)
+        appearances in the event window, optionally filtered by key.
+
+        Pure masked numpy reductions over the precomputed tuple-code
+        matrix: a key count is one equality + ``any`` per entity row, a
+        keyless count one ``np.unique`` over the masked (entity, code)
+        ids.
+        """
+        codes = self._entity_codes
+        if codes is None:  # pragma: no cover - guarded by count_for_mask
+            raise ExplorationError("tuple codes were not built for this counter")
+        window = self._event_window_indices(event, old, new)
+        window_codes = codes[:, window]
+        valid = (
+            self._presence()[:, window]
+            & (window_codes >= 0)
+            & mask[:, None]
+        )
+        if self.key is not None:
+            hits = valid & (window_codes == self._key_code)
+            return int(hits.any(axis=1).sum())
+        rows, cols = np.nonzero(valid)
+        ids = rows * self._code_stride + window_codes[rows, cols]
+        return int(np.unique(ids).size)
+
+
+@dataclass(frozen=True)
+class ChainStep:
+    """One evaluated interval pair along an extension chain."""
+
+    old: Side
+    new: Side
+    count: int
+    #: The event-entity mask the count was reduced from (parity-tested
+    #: against :meth:`EventCounter.event_mask`).
+    mask: np.ndarray
+
+
+class ChainEvaluator:
+    """Incremental ``result(G)`` evaluation along semi-lattice chains.
+
+    One exploration run evaluates thousands of interval pairs, but the
+    pairs are not independent: along one extension chain the reference
+    side never changes and the extended side grows by exactly one base
+    time point per step.  The evaluator exploits both facts —
+
+    * the reference side's qualification mask is computed **once per
+      chain** instead of once per pair;
+    * the extended side's mask is maintained **incrementally**: each
+      semi-lattice extension is a single OR (union semantics) or AND
+      (intersection semantics) with one presence column, O(entities)
+      instead of O(entities x span).
+
+    ``incremental=False`` recomputes both side masks from scratch at
+    every step — the naive per-pair path the seed implementation used.
+    Both modes produce bit-identical masks and counts (asserted by the
+    parity suite); the flag exists for parity testing and for the
+    old-vs-new rows of ``benchmarks/bench_exploration_scaling.py``.
+    """
+
+    def __init__(
+        self,
+        counter: EventCounter,
+        event: EventType,
+        incremental: bool = True,
+    ) -> None:
+        self.counter = counter
+        self.event = event
+        self.incremental = incremental
+
+    # ------------------------------------------------------------------
+    # Mask primitives (also used by the two-sided explorer)
+    # ------------------------------------------------------------------
+
+    def _presence(self) -> np.ndarray:
+        return self.counter._presence()
+
+    def point_mask(self, index: int) -> np.ndarray:
+        """The presence column of one base time point."""
+        return self._presence()[:, index]
+
+    def side_mask(self, side: Side) -> np.ndarray:
+        """A side's qualification mask, reduced from scratch."""
+        return self.counter._qualify(side)
+
+    def extend_side_mask(
+        self, mask: np.ndarray, index: int, semantics: Semantics
+    ) -> np.ndarray:
+        """The mask of a side extended by the base point ``index`` —
+        one OR/AND with a single presence column."""
+        column = self.point_mask(index)
+        if semantics is Semantics.UNION:
+            return mask | column
+        return mask & column
+
+    def _step(
+        self,
+        old: Side,
+        new: Side,
+        old_mask: np.ndarray | None,
+        new_mask: np.ndarray | None,
+    ) -> ChainStep:
+        if not self.incremental or old_mask is None or new_mask is None:
+            old_mask = self.counter._qualify(old)
+            new_mask = self.counter._qualify(new)
+        mask = _event_mask_from(self.event, old_mask, new_mask)
+        count = self.counter.count_for_mask(self.event, old, new, mask)
+        return ChainStep(old, new, count, mask)
+
+    def pair_count(
+        self,
+        old: Side,
+        new: Side,
+        old_mask: np.ndarray | None = None,
+        new_mask: np.ndarray | None = None,
+    ) -> int:
+        """``result(G)`` for one explicit pair, reusing caller-maintained
+        side masks when given (the two-sided explorer's entry point)."""
+        return self._step(old, new, old_mask, new_mask).count
+
+    # ------------------------------------------------------------------
+    # Chain walks (the Table-1 strategies' inner loops)
+    # ------------------------------------------------------------------
+
+    def chain(
+        self, reference: int, extend: ExtendSide, semantics: Semantics
+    ) -> Iterator[ChainStep]:
+        """The extension chain of one reference point, lazily evaluated.
+
+        Extending NEW: the reference is the old point ``reference`` and
+        the new side runs ``[reference+1]``, ``[reference+1..reference+2]``,
+        ...  Extending OLD: the reference is the new point
+        ``reference + 1`` and the old side runs ``[reference]``,
+        ``[reference-1..reference]``, ...  Laziness matters: U-Explore
+        and I-Explore prune the tail of the chain, and no pruned step is
+        ever evaluated.
+        """
+        presence = self._presence()
+        n_times = presence.shape[1]
+        if not 0 <= reference < n_times - 1:
+            raise ExplorationError(
+                f"chain reference {reference} out of range 0..{n_times - 2}"
+            )
+        if extend is ExtendSide.NEW:
+            old = Side.point(reference)
+            reference_mask = presence[:, reference]
+            extended = presence[:, reference + 1]
+            for stop in range(reference + 1, n_times):
+                if stop > reference + 1:
+                    extended = self.extend_side_mask(extended, stop, semantics)
+                yield self._step(
+                    old,
+                    Side(Interval(reference + 1, stop), semantics),
+                    reference_mask,
+                    extended,
+                )
+        else:
+            new = Side.point(reference + 1)
+            reference_mask = presence[:, reference + 1]
+            extended = presence[:, reference]
+            for start in range(reference, -1, -1):
+                if start < reference:
+                    extended = self.extend_side_mask(extended, start, semantics)
+                yield self._step(
+                    Side(Interval(start, reference), semantics),
+                    new,
+                    extended,
+                    reference_mask,
+                )
+
+    def consecutive(self) -> Iterator[ChainStep]:
+        """All consecutive point pairs ``(T_i, T_{i+1})`` — threshold
+        initialization (Section 3.5) and the degenerate minimal cases.
+        Each presence column is sliced once and shared by its two pairs."""
+        presence = self._presence()
+        for i in range(presence.shape[1] - 1):
+            yield self._step(
+                Side.point(i),
+                Side.point(i + 1),
+                presence[:, i],
+                presence[:, i + 1],
+            )
+
+    def longest(self, extend: ExtendSide) -> Iterator[ChainStep]:
+        """Per reference point, the longest intersection-semantics
+        extension — the degenerate maximal cases of Table 1.  The
+        prefix/suffix ANDs are accumulated incrementally, one column per
+        reference, instead of re-reducing each full-length window."""
+        presence = self._presence()
+        n_times = presence.shape[1]
+        if extend is ExtendSide.OLD:
+            accumulated = presence[:, 0] if n_times else None
+            for i in range(n_times - 1):
+                if i > 0 and accumulated is not None:
+                    accumulated = accumulated & presence[:, i]
+                yield self._step(
+                    Side(Interval(0, i), Semantics.INTERSECTION),
+                    Side.point(i + 1),
+                    accumulated,
+                    presence[:, i + 1],
+                )
+        else:
+            suffix: list[np.ndarray | None] = [None] * n_times
+            if self.incremental and n_times > 1:
+                running = presence[:, n_times - 1]
+                suffix[n_times - 1] = running
+                for column in range(n_times - 2, 0, -1):
+                    running = presence[:, column] & running
+                    suffix[column] = running
+            for i in range(n_times - 1):
+                yield self._step(
+                    Side.point(i),
+                    Side(Interval(i + 1, n_times - 1), Semantics.INTERSECTION),
+                    presence[:, i],
+                    suffix[i + 1],
+                )

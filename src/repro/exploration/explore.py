@@ -27,18 +27,24 @@ The two degenerate strategies are the paper's shortcuts: when extension
 can only lower the count, only the shortest pairs can be minimal (steps
 1-2 of U-Explore); when extension can only raise it, only the longest
 extension can be maximal.
+
+All strategies run through :class:`~repro.exploration.events.ChainEvaluator`,
+which maintains the extended side's qualification mask incrementally
+along each chain; pass ``incremental=False`` to force the naive
+re-reduce-every-pair path (bit-identical results, used by the parity
+suite and the scaling benchmark).
 """
 
 from __future__ import annotations
 
 import enum
-from collections.abc import Iterator, Sequence
+from collections.abc import Sequence
 from dataclasses import dataclass
 from typing import Any
 
-from ..core import Interval, TemporalGraph
-from .events import EntityKind, EventCounter, EventType
-from .lattice import Semantics, Side
+from ..core import TemporalGraph
+from .events import ChainEvaluator, ChainStep, EntityKind, EventCounter, EventType
+from .lattice import ExtendSide, Semantics, Side
 from ..errors import ExplorationError
 
 __all__ = [
@@ -59,16 +65,6 @@ class Goal(enum.Enum):
 
     MINIMAL = "minimal"
     MAXIMAL = "maximal"
-
-    def __str__(self) -> str:
-        return self.value
-
-
-class ExtendSide(enum.Enum):
-    """Which end of the pair is extended; the other is the reference."""
-
-    OLD = "old"
-    NEW = "new"
 
     def __str__(self) -> str:
         return self.value
@@ -116,31 +112,8 @@ class ExplorationResult:
         )
 
 
-def _chains(
-    n_times: int, extend: ExtendSide, semantics: Semantics
-) -> Iterator[tuple[int, Iterator[tuple[Side, Side]]]]:
-    """Per reference point, the (old side, new side) extension chain.
-
-    Extending NEW: reference is the old point ``i``; the new side runs
-    ``[i+1]``, ``[i+1..i+2]``, ...  Extending OLD: reference is the new
-    point ``i+1``; the old side runs ``[i]``, ``[i-1..i]``, ...
-    """
-    for i in range(n_times - 1):
-        if extend is ExtendSide.NEW:
-            old = Side.point(i)
-
-            def chain(old: Side = old, start: int = i + 1) -> Iterator[tuple[Side, Side]]:
-                for stop in range(start, n_times):
-                    yield old, Side(Interval(start, stop), semantics)
-
-        else:
-            new = Side.point(i + 1)
-
-            def chain(new: Side = new, stop: int = i) -> Iterator[tuple[Side, Side]]:
-                for start in range(stop, -1, -1):
-                    yield Side(Interval(start, stop), semantics), new
-
-        yield i, chain()
+def _pair(step: ChainStep) -> IntervalPairResult:
+    return IntervalPairResult(step.old, step.new, step.count)
 
 
 def u_explore(
@@ -148,6 +121,8 @@ def u_explore(
     event: EventType,
     extend: ExtendSide,
     k: int,
+    *,
+    incremental: bool = True,
 ) -> ExplorationResult:
     """Union Exploration (Section 3.2): minimal pairs with >= k events.
 
@@ -156,15 +131,15 @@ def u_explore(
     ``k`` is the minimal one for its reference point and the rest of the
     chain is pruned.
     """
+    evaluator = ChainEvaluator(counter, event, incremental=incremental)
     n_times = len(counter.graph.timeline)
     pairs: list[IntervalPairResult] = []
     evaluations = 0
-    for _, chain in _chains(n_times, extend, Semantics.UNION):
-        for old, new in chain:
+    for reference in range(n_times - 1):
+        for step in evaluator.chain(reference, extend, Semantics.UNION):
             evaluations += 1
-            count = counter.count(event, old, new)
-            if count >= k:
-                pairs.append(IntervalPairResult(old, new, count))
+            if step.count >= k:
+                pairs.append(_pair(step))
                 break
     return ExplorationResult(
         event, Goal.MINIMAL, extend, k, tuple(pairs), evaluations
@@ -176,6 +151,8 @@ def i_explore(
     event: EventType,
     extend: ExtendSide,
     k: int,
+    *,
+    incremental: bool = True,
 ) -> ExplorationResult:
     """Intersection Exploration (Section 3.2): maximal pairs with >= k.
 
@@ -185,16 +162,16 @@ def i_explore(
     the first failure.  References whose shortest pair already fails are
     pruned entirely (step 2 of the paper's algorithm).
     """
+    evaluator = ChainEvaluator(counter, event, incremental=incremental)
     n_times = len(counter.graph.timeline)
     pairs: list[IntervalPairResult] = []
     evaluations = 0
-    for _, chain in _chains(n_times, extend, Semantics.INTERSECTION):
+    for reference in range(n_times - 1):
         candidate: IntervalPairResult | None = None
-        for old, new in chain:
+        for step in evaluator.chain(reference, extend, Semantics.INTERSECTION):
             evaluations += 1
-            count = counter.count(event, old, new)
-            if count >= k:
-                candidate = IntervalPairResult(old, new, count)
+            if step.count >= k:
+                candidate = _pair(step)
             else:
                 break
         if candidate is not None:
@@ -209,19 +186,19 @@ def _consecutive_only(
     event: EventType,
     extend: ExtendSide,
     k: int,
+    *,
+    incremental: bool = True,
 ) -> ExplorationResult:
     """Degenerate minimal case: the operator is monotonically decreasing
     under the requested extension, so only consecutive point pairs can be
     minimal (Sections 3.3/3.4)."""
-    n_times = len(counter.graph.timeline)
+    evaluator = ChainEvaluator(counter, event, incremental=incremental)
     pairs: list[IntervalPairResult] = []
     evaluations = 0
-    for i in range(n_times - 1):
-        old, new = Side.point(i), Side.point(i + 1)
+    for step in evaluator.consecutive():
         evaluations += 1
-        count = counter.count(event, old, new)
-        if count >= k:
-            pairs.append(IntervalPairResult(old, new, count))
+        if step.count >= k:
+            pairs.append(_pair(step))
     return ExplorationResult(
         event, Goal.MINIMAL, extend, k, tuple(pairs), evaluations
     )
@@ -232,24 +209,19 @@ def _longest_only(
     event: EventType,
     extend: ExtendSide,
     k: int,
+    *,
+    incremental: bool = True,
 ) -> ExplorationResult:
     """Degenerate maximal case: the operator is monotonically increasing
     under the requested extension, so for each reference the longest
     extension is the only candidate maximal pair."""
-    n_times = len(counter.graph.timeline)
+    evaluator = ChainEvaluator(counter, event, incremental=incremental)
     pairs: list[IntervalPairResult] = []
     evaluations = 0
-    for i in range(n_times - 1):
-        if extend is ExtendSide.OLD:
-            old = Side(Interval(0, i), Semantics.INTERSECTION)
-            new = Side.point(i + 1)
-        else:
-            old = Side.point(i)
-            new = Side(Interval(i + 1, n_times - 1), Semantics.INTERSECTION)
+    for step in evaluator.longest(extend):
         evaluations += 1
-        count = counter.count(event, old, new)
-        if count >= k:
-            pairs.append(IntervalPairResult(old, new, count))
+        if step.count >= k:
+            pairs.append(_pair(step))
     return ExplorationResult(
         event, Goal.MAXIMAL, extend, k, tuple(pairs), evaluations
     )
@@ -264,6 +236,8 @@ def explore(
     entity: EntityKind = EntityKind.EDGES,
     attributes: Sequence[str] = (),
     key: Any = None,
+    *,
+    incremental: bool = True,
 ) -> ExplorationResult:
     """Run one of the eight Table-1 exploration cases.
 
@@ -280,30 +254,41 @@ def explore(
         What to count — e.g. ``entity=EDGES, attributes=["gender"],
         key=(("f",), ("f",))`` counts female-female edges as in the
         paper's Figures 13/14.
+    incremental:
+        Evaluate chains incrementally (the default) or naively per pair;
+        the results are identical, only the cost differs.
     """
     if k < 1:
         raise ExplorationError(f"threshold k must be positive, got {k}")
     counter = EventCounter(graph, entity=entity, attributes=attributes, key=key)
     if event is EventType.STABILITY:
         if goal is Goal.MINIMAL:
-            return u_explore(counter, event, extend, k)
-        return i_explore(counter, event, extend, k)
+            return u_explore(counter, event, extend, k, incremental=incremental)
+        return i_explore(counter, event, extend, k, incremental=incremental)
     if event is EventType.GROWTH:
         if goal is Goal.MINIMAL:
             if extend is ExtendSide.NEW:
-                return u_explore(counter, event, extend, k)
-            return _consecutive_only(counter, event, extend, k)
+                return u_explore(
+                    counter, event, extend, k, incremental=incremental
+                )
+            return _consecutive_only(
+                counter, event, extend, k, incremental=incremental
+            )
         if extend is ExtendSide.OLD:
-            return _longest_only(counter, event, extend, k)
-        return i_explore(counter, event, extend, k)
+            return _longest_only(
+                counter, event, extend, k, incremental=incremental
+            )
+        return i_explore(counter, event, extend, k, incremental=incremental)
     # Shrinkage mirrors growth with the sides swapped.
     if goal is Goal.MINIMAL:
         if extend is ExtendSide.OLD:
-            return u_explore(counter, event, extend, k)
-        return _consecutive_only(counter, event, extend, k)
+            return u_explore(counter, event, extend, k, incremental=incremental)
+        return _consecutive_only(
+            counter, event, extend, k, incremental=incremental
+        )
     if extend is ExtendSide.NEW:
-        return _longest_only(counter, event, extend, k)
-    return i_explore(counter, event, extend, k)
+        return _longest_only(counter, event, extend, k, incremental=incremental)
+    return i_explore(counter, event, extend, k, incremental=incremental)
 
 
 def exhaustive_explore(
@@ -315,6 +300,8 @@ def exhaustive_explore(
     entity: EntityKind = EntityKind.EDGES,
     attributes: Sequence[str] = (),
     key: Any = None,
+    *,
+    incremental: bool = True,
 ) -> ExplorationResult:
     """Oracle explorer: evaluates *every* pair in the case's candidate
     space and selects minimal/maximal pairs by definition.
@@ -327,17 +314,17 @@ def exhaustive_explore(
     if k < 1:
         raise ExplorationError(f"threshold k must be positive, got {k}")
     counter = EventCounter(graph, entity=entity, attributes=attributes, key=key)
+    evaluator = ChainEvaluator(counter, event, incremental=incremental)
     semantics = Semantics.UNION if goal is Goal.MINIMAL else Semantics.INTERSECTION
     n_times = len(graph.timeline)
     pairs: list[IntervalPairResult] = []
     evaluations = 0
-    for _, chain in _chains(n_times, extend, semantics):
+    for reference in range(n_times - 1):
         passing: list[IntervalPairResult] = []
-        for old, new in chain:
+        for step in evaluator.chain(reference, extend, semantics):
             evaluations += 1
-            count = counter.count(event, old, new)
-            if count >= k:
-                passing.append(IntervalPairResult(old, new, count))
+            if step.count >= k:
+                passing.append(_pair(step))
         if not passing:
             continue
         if goal is Goal.MINIMAL:

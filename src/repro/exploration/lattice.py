@@ -22,7 +22,7 @@ from dataclasses import dataclass
 from ..core import Interval
 from ..errors import ExplorationError
 
-__all__ = ["Semantics", "Side", "right_chain", "left_chain"]
+__all__ = ["Semantics", "Side", "ExtendSide", "right_chain", "left_chain"]
 
 
 class Semantics(enum.Enum):
@@ -30,6 +30,16 @@ class Semantics(enum.Enum):
 
     UNION = "union"
     INTERSECTION = "intersection"
+
+    def __str__(self) -> str:
+        return self.value
+
+
+class ExtendSide(enum.Enum):
+    """Which end of the pair is extended; the other is the reference."""
+
+    OLD = "old"
+    NEW = "new"
 
     def __str__(self) -> str:
         return self.value

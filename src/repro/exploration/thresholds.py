@@ -15,8 +15,7 @@ from collections.abc import Sequence
 from typing import Any
 
 from ..core import TemporalGraph
-from .events import EntityKind, EventCounter, EventType
-from .lattice import Side
+from .events import ChainEvaluator, EntityKind, EventCounter, EventType
 from ..errors import ExplorationError
 
 __all__ = ["consecutive_event_counts", "suggest_threshold", "threshold_ladder"]
@@ -31,10 +30,8 @@ def consecutive_event_counts(
 ) -> list[int]:
     """Event counts for every consecutive time-point pair ``(T_i, T_i+1)``."""
     counter = EventCounter(graph, entity=entity, attributes=attributes, key=key)
-    counts = []
-    for i in range(len(graph.timeline) - 1):
-        counts.append(counter.count(event, Side.point(i), Side.point(i + 1)))
-    return counts
+    evaluator = ChainEvaluator(counter, event)
+    return [step.count for step in evaluator.consecutive()]
 
 
 def suggest_threshold(
@@ -50,7 +47,9 @@ def suggest_threshold(
     ``mode`` is ``"max"`` (start high and decrease — the right start for
     monotonically decreasing explorations) or ``"min"`` (start low and
     increase).  Counts of zero are ignored when they are not the only
-    value, so a single empty pair does not collapse the suggestion.
+    value, so a single empty pair does not collapse the suggestion; when
+    *every* count is zero the suggestion is floored at 1, the smallest
+    threshold :func:`repro.exploration.explore` accepts.
     """
     if mode not in ("max", "min"):
         raise ExplorationError(f"mode must be 'max' or 'min', got {mode!r}")
@@ -61,7 +60,7 @@ def suggest_threshold(
     pool = positive or counts
     if not pool:
         raise ExplorationError("graph has fewer than two time points")
-    return max(pool) if mode == "max" else min(pool)
+    return max(1, max(pool) if mode == "max" else min(pool))
 
 
 def threshold_ladder(w_th: int, factors: Sequence[float]) -> list[int]:

@@ -18,12 +18,15 @@ one reference point.  This module makes the consequence concrete:
 
 from __future__ import annotations
 
+import math
 from collections.abc import Sequence
 from dataclasses import dataclass
 from typing import Any
 
+import numpy as np
+
 from ..core import Interval, TemporalGraph
-from .events import EntityKind, EventCounter, EventType
+from .events import ChainEvaluator, EntityKind, EventCounter, EventType
 from .explore import Goal
 from .lattice import Semantics, Side
 from ..errors import ExplorationError
@@ -60,31 +63,52 @@ def two_sided_counts(
 ) -> list[TwoSidedPair]:
     """Counts for every non-overlapping (old span, new span) pair.
 
-    The candidate space is O(n^4) in the number of time points; the
-    ``max_pairs`` guard fails loudly instead of silently melting on a
-    long timeline.
+    The candidate space is O(n^4) in the number of time points; its size
+    — the number of index quadruples ``a <= b < c <= d``, i.e.
+    ``C(n+2, 4)`` — is computed arithmetically *before* anything is
+    enumerated, so the ``max_pairs`` guard fails fast on a long timeline
+    instead of materializing the doomed pair list first.
+
+    Both sides' qualification masks are maintained incrementally through
+    :class:`~repro.exploration.events.ChainEvaluator`: the old side's
+    mask extends by one column per ``old_stop`` step and is shared by
+    every new span evaluated against it.
     """
     n = len(graph.timeline)
-    pairs: list[tuple[Interval, Interval]] = []
-    for old_start in range(n):
-        for old_stop in range(old_start, n - 1):
-            for new_start in range(old_stop + 1, n):
-                for new_stop in range(new_start, n):
-                    pairs.append(
-                        (Interval(old_start, old_stop), Interval(new_start, new_stop))
-                    )
-    if len(pairs) > max_pairs:
+    total = math.comb(n + 2, 4)
+    if total > max_pairs:
         raise ExplorationError(
-            f"two-sided space has {len(pairs)} pairs (> {max_pairs}); "
+            f"two-sided space has {total} pairs (> {max_pairs}); "
             "shorten the timeline or raise max_pairs explicitly"
         )
     counter = EventCounter(graph, entity=entity, attributes=attributes, key=key)
+    evaluator = ChainEvaluator(counter, event)
     results = []
-    for old, new in pairs:
-        count = counter.count(
-            event, Side(old, semantics), Side(new, semantics)
-        )
-        results.append(TwoSidedPair(old, new, count))
+    for old_start in range(n):
+        old_mask: np.ndarray | None = None
+        for old_stop in range(old_start, n - 1):
+            old_mask = (
+                evaluator.point_mask(old_start)
+                if old_mask is None
+                else evaluator.extend_side_mask(old_mask, old_stop, semantics)
+            )
+            old = Interval(old_start, old_stop)
+            old_side = Side(old, semantics)
+            for new_start in range(old_stop + 1, n):
+                new_mask: np.ndarray | None = None
+                for new_stop in range(new_start, n):
+                    new_mask = (
+                        evaluator.point_mask(new_start)
+                        if new_mask is None
+                        else evaluator.extend_side_mask(
+                            new_mask, new_stop, semantics
+                        )
+                    )
+                    new = Interval(new_start, new_stop)
+                    count = evaluator.pair_count(
+                        old_side, Side(new, semantics), old_mask, new_mask
+                    )
+                    results.append(TwoSidedPair(old, new, count))
     return results
 
 

@@ -36,6 +36,13 @@ class IncrementalStore:
     def __init__(
         self, graph: TemporalGraph, tracked: Sequence[Sequence[str]]
     ) -> None:
+        if not graph.timeline.labels:
+            # Timeline itself rejects empty label sets, but graph-like
+            # objects from other substrates may not; fail from the GT003
+            # taxonomy instead of a bare IndexError on the first total.
+            raise MaterializationError(
+                "cannot build an IncrementalStore over an empty timeline"
+            )
         self._graph = graph
         self._tracked = [tuple(attrs) for attrs in tracked]
         if len(set(self._tracked)) != len(self._tracked):

@@ -25,7 +25,7 @@ from __future__ import annotations
 from collections.abc import Hashable, Iterable, Sequence
 from dataclasses import dataclass
 
-from ..core import AggregateGraph, TemporalGraph, aggregate
+from ..core import AggregateGraph, TemporalGraph, aggregate, ordered_times
 from ..errors import MaterializationError
 
 __all__ = ["MaterializedStore", "StoreStats"]
@@ -120,12 +120,17 @@ class MaterializedStore:
         Equivalent to ``aggregate(union(graph, times), attributes,
         distinct=False)`` but touches only the cache — this equality is
         what the Figure 10 benchmark (and its correctness test) checks.
+        To keep it an *equality*, ``times`` is normalized through
+        :func:`repro.core.ordered_times` first: labels are validated
+        against the timeline and deduplicated (the union operator treats
+        its inputs as sets, so a repeated label must not be summed
+        twice).
         """
-        times = tuple(times)
-        if not times:
+        window = ordered_times(self._graph, times)
+        if not window:
             raise MaterializationError("union_aggregate requires at least one time point")
         total: AggregateGraph | None = None
-        for time in times:
+        for time in window:
             point = self.timepoint_aggregate(attributes, time, distinct=False)
             total = point if total is None else total.combine(point)
             self.stats.derived += 1

@@ -204,3 +204,62 @@ class TestMonotonicityOfCounts:
             for stop in range(1, len(small_dblp.timeline))
         ]
         assert counts == sorted(counts, reverse=True)
+
+
+class TestEventWindow:
+    """Regression: the STABILITY event window dedupes duplicate time
+    labels when the two sides overlap, preserving timeline order."""
+
+    def test_overlapping_stability_sides_deduped(self, paper_graph):
+        counter = EventCounter(
+            paper_graph, entity=EntityKind.NODES, attributes=["publications"]
+        )
+        old = Side(Interval(0, 1), Semantics.UNION)
+        new = Side(Interval(1, 2), Semantics.UNION)
+        window = counter._event_window(EventType.STABILITY, old, new)
+        assert window == list(paper_graph.timeline.labels)
+        assert len(window) == len(set(window))
+
+    def test_window_is_in_timeline_order(self, paper_graph):
+        counter = EventCounter(
+            paper_graph, entity=EntityKind.NODES, attributes=["publications"]
+        )
+        # Even with the sides given "backwards", the window follows the
+        # timeline, not the concatenation order of the sides.
+        old = Side(Interval(1, 2), Semantics.UNION)
+        new = Side(Interval(0, 1), Semantics.UNION)
+        window = counter._event_window(EventType.STABILITY, old, new)
+        assert window == list(paper_graph.timeline.labels)
+
+    def test_growth_window_is_new_side(self, paper_graph):
+        counter = EventCounter(paper_graph, attributes=["publications"])
+        old = Side.point(0)
+        new = Side(Interval(1, 2), Semantics.UNION)
+        labels = paper_graph.timeline.labels
+        assert counter._event_window(EventType.GROWTH, old, new) == [
+            labels[1], labels[2]
+        ]
+        assert counter._event_window(EventType.SHRINKAGE, old, new) == [labels[0]]
+
+    def test_overlap_count_matches_brute_force(self, tiny_graph):
+        """Varying-attribute counts over an overlapping pair equal the
+        brute-force distinct-appearance count over the deduped window."""
+        counter = EventCounter(
+            tiny_graph, entity=EntityKind.NODES, attributes=["level"]
+        )
+        old = Side(Interval(0, 2), Semantics.UNION)
+        new = Side(Interval(1, 3), Semantics.UNION)
+        mask = counter.event_mask(EventType.STABILITY, old, new)
+        labels = tiny_graph.timeline.labels
+        window = [labels[i] for i in range(4)]  # deduped union of the sides
+        presence = tiny_graph.node_presence.values
+        appearances = set()
+        for row, node in enumerate(tiny_graph.node_presence.row_labels):
+            if not mask[row]:
+                continue
+            for t in window:
+                col = tiny_graph.timeline.index_of(t)
+                if presence[row, col]:
+                    value = tiny_graph.attribute_value(node, "level", t)
+                    appearances.add((node, value))
+        assert counter.count(EventType.STABILITY, old, new) == len(appearances)

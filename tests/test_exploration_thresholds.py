@@ -2,10 +2,14 @@
 
 import pytest
 
+from repro.core import TemporalGraphBuilder
 from repro.exploration import (
     EntityKind,
     EventType,
+    ExtendSide,
+    Goal,
     consecutive_event_counts,
+    explore,
     suggest_threshold,
     threshold_ladder,
 )
@@ -94,3 +98,39 @@ class TestThresholdLadder:
             threshold_ladder(10, (0.0,))
         with pytest.raises(ValueError):
             threshold_ladder(10, (-1.0,))
+
+
+class TestAllZeroCountsFloor:
+    """Regression: when every consecutive count is zero, the suggestion
+    is floored at 1 — the smallest threshold ``explore`` accepts — not 0."""
+
+    @staticmethod
+    def _frozen_graph():
+        # Identical nodes and edges at every time point: no growth and no
+        # shrinkage anywhere on the timeline.
+        builder = TemporalGraphBuilder([0, 1, 2], static=["gender"])
+        for node in ("a", "b", "c"):
+            builder.add_node(node, {"gender": "f"})
+            for t in (0, 1, 2):
+                builder.set_node_presence(node, t)
+        builder.add_edge("a", "b", [0, 1, 2])
+        builder.add_edge("b", "c", [0, 1, 2])
+        return builder.build()
+
+    def test_counts_are_all_zero(self):
+        graph = self._frozen_graph()
+        assert consecutive_event_counts(graph, EventType.GROWTH) == [0, 0]
+        assert consecutive_event_counts(graph, EventType.SHRINKAGE) == [0, 0]
+
+    @pytest.mark.parametrize("mode", ["max", "min"])
+    @pytest.mark.parametrize("event", [EventType.GROWTH, EventType.SHRINKAGE])
+    def test_floored_at_one(self, event, mode):
+        assert suggest_threshold(self._frozen_graph(), event, mode=mode) == 1
+
+    def test_suggestion_is_accepted_by_explore(self):
+        graph = self._frozen_graph()
+        k = suggest_threshold(graph, EventType.GROWTH, mode="min")
+        result = explore(
+            graph, EventType.GROWTH, Goal.MINIMAL, ExtendSide.NEW, k
+        )
+        assert result.pairs == ()  # nothing grows, but no ValueError either

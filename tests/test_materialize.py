@@ -1,9 +1,12 @@
 """Tests for partial materialization (Section 4.3)."""
 
+from types import SimpleNamespace
+
 import pytest
 
 from repro.core import aggregate, union
-from repro.materialize import MaterializedStore
+from repro.errors import MaterializationError, UnknownLabelError
+from repro.materialize import IncrementalStore, MaterializedStore
 
 
 @pytest.fixture()
@@ -81,6 +84,27 @@ class TestTDistributivity:
         with pytest.raises(ValueError):
             store.union_aggregate(["gender"], [])
 
+    def test_duplicate_labels_not_summed_twice(self, store, small_dblp):
+        """Regression: ``times`` is normalized through ``ordered_times``
+        — the union operator treats its input as a set, so a repeated
+        label must not contribute its per-point aggregate twice."""
+        times = small_dblp.timeline.labels[:3]
+        doubled = list(times) + list(times)
+        derived = store.union_aggregate(["gender"], doubled)
+        direct = aggregate(union(small_dblp, times), ["gender"], distinct=False)
+        assert dict(derived.node_weights) == dict(direct.node_weights)
+        assert dict(derived.edge_weights) == dict(direct.edge_weights)
+
+    def test_out_of_order_labels_normalized(self, store, small_dblp):
+        times = list(small_dblp.timeline.labels[:4])
+        derived = store.union_aggregate(["gender"], times[::-1])
+        direct = aggregate(union(small_dblp, times), ["gender"], distinct=False)
+        assert dict(derived.node_weights) == dict(direct.node_weights)
+
+    def test_unknown_label_rejected(self, store):
+        with pytest.raises(UnknownLabelError):
+            store.union_aggregate(["gender"], ["not-a-time-point"])
+
     def test_distinct_is_not_t_distributive(self, small_dblp):
         """Summing per-point DIST aggregates overcounts vs. the true
         union DIST aggregate — the reason Section 4.3 excludes it."""
@@ -140,3 +164,20 @@ class TestDDistributivity:
         )
         assert store.stats.misses == 1
         assert store.stats.hits == 1
+
+
+class TestIncrementalStoreEmptyTimeline:
+    def test_empty_timeline_raises_from_taxonomy(self):
+        """Regression: a graph-like object with an empty timeline must
+        fail with a MaterializationError, not a bare IndexError on
+        ``points[0]``.  A real TemporalGraph cannot have an empty
+        timeline (Timeline rejects it), so a duck-typed stub stands in
+        for graph substrates that may not enforce that."""
+        stub = SimpleNamespace(timeline=SimpleNamespace(labels=()))
+        with pytest.raises(MaterializationError, match="empty timeline"):
+            IncrementalStore(stub, [["gender"]])
+
+    def test_error_is_a_value_error(self):
+        stub = SimpleNamespace(timeline=SimpleNamespace(labels=()))
+        with pytest.raises(ValueError):
+            IncrementalStore(stub, [])

@@ -1,8 +1,11 @@
 """Tests for two-sided exploration and the non-monotonicity claim."""
 
+import math
+import time
+
 import pytest
 
-from repro.core import Interval
+from repro.core import Interval, TemporalGraphBuilder
 from repro.exploration import (
     EventType,
     Goal,
@@ -42,6 +45,33 @@ class TestTwoSidedCounts:
             two_sided_counts(
                 small_dblp, EventType.GROWTH, Semantics.UNION, max_pairs=10
             )
+
+    def test_guard_fails_fast_on_long_timeline(self):
+        """Regression: the candidate count is computed arithmetically
+        (``C(n+2, 4)``) *before* enumeration, so a long timeline fails
+        immediately instead of materializing an O(n^4) pair list first."""
+        n = 200  # C(202, 4) ~ 67 million quadruples: enumeration would hang
+        builder = TemporalGraphBuilder(list(range(n)))
+        builder.add_node("a")
+        builder.add_node("b")
+        for t in range(n):
+            builder.set_node_presence("a", t)
+            builder.set_node_presence("b", t)
+        builder.add_edge("a", "b", range(n))
+        graph = builder.build()
+        start = time.perf_counter()
+        with pytest.raises(ValueError) as excinfo:
+            two_sided_counts(graph, EventType.GROWTH, Semantics.UNION)
+        assert time.perf_counter() - start < 1.0
+        assert str(math.comb(n + 2, 4)) in str(excinfo.value)
+
+    def test_guard_count_matches_enumeration(self, paper_graph):
+        """The arithmetic size formula agrees with what is enumerated."""
+        n = len(paper_graph.timeline)
+        pairs = two_sided_counts(
+            paper_graph, EventType.GROWTH, Semantics.UNION
+        )
+        assert len(pairs) == math.comb(n + 2, 4)
 
 
 class TestNonMonotonicity:
