@@ -1,0 +1,207 @@
+"""Observability overhead benchmark: the instrumentation must be free.
+
+The tracer's disabled no-op fast path and the always-on counter dict
+updates are budgeted at <= 5% overhead on the two workloads the paper's
+evaluation leans on:
+
+* **Figure 5 aggregation** — per-time-point DIST/ALL aggregation over
+  the DBLP attribute sets (``fig5_timepoint_aggregation``);
+* **exploration scaling** — pruned + exhaustive STABILITY/MAXIMAL/NEW
+  exploration over a synthetic 60-point timeline (the
+  ``bench_exploration_scaling`` workload).
+
+Each workload runs with the default disabled tracer and metrics in place
+(the shipped configuration) and the measured best times are compared
+against the pre-instrumentation baselines recorded at the top of this
+file.  A third section measures the *enabled* tracer for reference; it
+has no budget, but the span tree it produces is asserted non-trivial.
+
+Results land in ``BENCH_obs.json``.  Run directly::
+
+    PYTHONPATH=src python benchmarks/bench_obs_overhead.py [--smoke]
+
+``--smoke`` shrinks both workloads so CI finishes in seconds; the
+checked-in JSON comes from a full run.  This file is a script, not a
+pytest module — pytest collects nothing from it.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import platform
+import sys
+from pathlib import Path
+
+import numpy as np
+
+from repro.bench import fig5_timepoint_aggregation, measure
+from repro.datasets import (
+    EvolvingGraphConfig,
+    StaticAttributeSpec,
+    VaryingAttributeSpec,
+    generate_dblp,
+    generate_evolving_graph,
+)
+from repro.exploration import EventType, ExtendSide, Goal, exhaustive_explore, explore
+from repro.obs import MetricsRegistry, Tracer, set_metrics, set_tracer
+
+#: Best wall times measured on the pre-instrumentation tree (the parent
+#: commit, via a clean worktree) back-to-back with the post numbers in
+#: BENCH_obs.json, so both sides saw the same machine conditions.
+PRE_INSTRUMENTATION_BASELINE_S = {
+    "fig5_aggregation": 0.17044946199985134,
+    "exploration_scaling": 0.16601255299974582,
+}
+
+#: Maximum tolerated disabled-instrumentation slowdown vs. baseline.
+OVERHEAD_BUDGET = 0.05
+
+DBLP_SCALE = 0.02
+FIG5_ATTRIBUTE_SETS = [["gender"], ["publications"], ["gender", "publications"]]
+
+
+def synthetic_graph(n_times: int, nodes: int, edges: int, seed: int = 7):
+    def level(rng, node_ids, t):
+        return (node_ids % 4 + 1).astype(object)
+
+    config = EvolvingGraphConfig(
+        times=tuple(range(n_times)),
+        node_targets=(nodes,) * n_times,
+        edge_targets=(edges,) * n_times,
+        node_survival=0.8,
+        node_return=0.3,
+        edge_repeat=0.5,
+        static_attrs=(StaticAttributeSpec("color", ("red", "blue", "green")),),
+        varying_attrs=(VaryingAttributeSpec("level", level),),
+        seed=seed,
+    )
+    return generate_evolving_graph(config)
+
+
+def _fig5_workload(graph):
+    return lambda: fig5_timepoint_aggregation(
+        graph, FIG5_ATTRIBUTE_SETS, repeats=1
+    )
+
+
+def _exploration_workload(graph):
+    def run():
+        a = explore(
+            graph, EventType.STABILITY, Goal.MAXIMAL, ExtendSide.NEW, 1
+        )
+        b = exhaustive_explore(
+            graph, EventType.STABILITY, Goal.MAXIMAL, ExtendSide.NEW, 1
+        )
+        return (a.evaluations, b.evaluations)
+
+    return run
+
+
+def bench_workload(name, fn, repeats, baseline_key):
+    """Time ``fn`` with the disabled (default) and enabled tracer."""
+    set_tracer(Tracer(enabled=False))
+    set_metrics(MetricsRegistry())
+    disabled = measure(fn, repeats=repeats)
+
+    tracer = Tracer(enabled=True)
+    set_tracer(tracer)
+    set_metrics(MetricsRegistry())
+    enabled = measure(fn, repeats=repeats)
+    span_count = (
+        sum(1 for _ in tracer.last_root.walk()) if tracer.last_root else 0
+    )
+    set_tracer(Tracer(enabled=False))
+    set_metrics(MetricsRegistry())
+
+    baseline = PRE_INSTRUMENTATION_BASELINE_S[baseline_key]
+    overhead = disabled.best / baseline - 1.0
+    row = {
+        "workload": name,
+        "baseline_s": baseline,
+        "disabled_best_s": disabled.best,
+        "disabled_mean_s": disabled.mean,
+        "enabled_best_s": enabled.best,
+        "disabled_overhead_vs_baseline": overhead,
+        "enabled_spans": span_count,
+        "repeats": repeats,
+    }
+    print(
+        f"  {name}: baseline {baseline:.4f}s, disabled {disabled.best:.4f}s "
+        f"({overhead:+.1%}), enabled {enabled.best:.4f}s "
+        f"({span_count} spans)"
+    )
+    return row
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help="tiny datasets and one repeat (CI); skips the budget gate",
+    )
+    parser.add_argument(
+        "--output",
+        type=Path,
+        default=Path(__file__).resolve().parent.parent / "BENCH_obs.json",
+        help="where to write the JSON report",
+    )
+    parser.add_argument("--repeats", type=int, default=None)
+    args = parser.parse_args(argv)
+
+    if args.smoke:
+        dblp_scale, n_times, nodes, edges = 0.01, 12, 80, 160
+        repeats = args.repeats or 1
+    else:
+        dblp_scale, n_times, nodes, edges = DBLP_SCALE, 60, 300, 600
+        repeats = args.repeats or 7
+
+    print("observability overhead (disabled tracer vs. pre-PR baseline):")
+    dblp = generate_dblp(scale=dblp_scale)
+    synthetic = synthetic_graph(n_times, nodes, edges)
+    rows = [
+        bench_workload(
+            "fig5_aggregation", _fig5_workload(dblp), repeats, "fig5_aggregation"
+        ),
+        bench_workload(
+            "exploration_scaling",
+            _exploration_workload(synthetic),
+            repeats,
+            "exploration_scaling",
+        ),
+    ]
+
+    report = {
+        "meta": {
+            "smoke": args.smoke,
+            "repeats": repeats,
+            "python": platform.python_version(),
+            "numpy": np.__version__,
+            "budget": OVERHEAD_BUDGET,
+            "dblp_scale": dblp_scale,
+            "synthetic_size": {
+                "n_times": n_times, "nodes_per_t": nodes, "edges_per_t": edges
+            },
+        },
+        "workloads": rows,
+    }
+    args.output.write_text(json.dumps(report, indent=2) + "\n")
+    print(f"wrote {args.output}")
+
+    if args.smoke:
+        # Smoke sizes differ from the baselines' sizes; the overhead
+        # comparison is only meaningful at full scale.
+        return 0
+    worst = max(row["disabled_overhead_vs_baseline"] for row in rows)
+    if worst > OVERHEAD_BUDGET:
+        print(
+            f"WARNING: disabled-instrumentation overhead {worst:+.1%} "
+            f"exceeds the {OVERHEAD_BUDGET:.0%} budget"
+        )
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

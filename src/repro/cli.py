@@ -296,6 +296,26 @@ def _run_check(args: argparse.Namespace) -> None:
     print(format_findings(check_graph(graph)))
 
 
+def _run_profile(args: argparse.Namespace) -> None:
+    from .obs import render_metrics, render_span_tree, to_json
+    from .obs.profile import run_profile
+
+    report = run_profile(args.dataset, args.workload, scale=args.scale)
+    if args.json:
+        out = Path(args.json)
+        out.parent.mkdir(parents=True, exist_ok=True)
+        out.write_text(to_json(report.to_dict()) + "\n", encoding="utf-8")
+        print(f"wrote {out}")
+        return
+    print(f"profile {args.workload} on {args.dataset} @ scale {args.scale}")
+    for name, value in report.summary.items():
+        print(f"  {name}: {value}")
+    print()
+    print(render_span_tree(report.trace))
+    print()
+    print(render_metrics(report.metrics))
+
+
 def _run_query(args: argparse.Namespace) -> None:
     from .query import run_query
 
@@ -378,6 +398,16 @@ def build_parser() -> argparse.ArgumentParser:
     dot.add_argument("--scale", type=float, default=0.05)
     dot.add_argument("--out", default="dot_out")
     dot.set_defaults(func=_run_dot)
+
+    profile = sub.add_parser(
+        "profile", help="run a workload under tracing and report span tree + metrics"
+    )
+    profile.add_argument("dataset", choices=["dblp", "movielens", "example"])
+    profile.add_argument("workload", choices=["aggregate", "explore", "session"])
+    profile.add_argument("--scale", type=float, default=0.05)
+    profile.add_argument("--json", default=None, metavar="PATH",
+                         help="write the report as JSON instead of text")
+    profile.set_defaults(func=_run_profile)
 
     query = sub.add_parser("query", help="run a query-language statement")
     query.add_argument("text")

@@ -23,8 +23,11 @@ from dataclasses import dataclass
 from typing import Any
 
 from ..frames import Table
+from ..obs.metrics import get_metrics
+from ..obs.trace import trace_span
 from .graph import TemporalGraph
 from .intervals import TimeSet
+from .operators import ordered_times
 from ..errors import AggregationError, UnknownLabelError
 
 __all__ = ["AggregateGraph", "aggregate", "AttributeTuple", "EdgeKey"]
@@ -231,36 +234,50 @@ def _aggregate_general(
 ) -> AggregateGraph:
     """Algorithm 2: the general path used when a time-varying attribute
     participates (also correct, just slower, for static-only input)."""
-    node_table = _node_tuple_table(graph, attributes, times)
+    metrics = get_metrics()
+    with trace_span("aggregate.unpivot"):
+        node_table = _node_tuple_table(graph, attributes, times)
+    metrics.inc("algo2.unpivot_rows", len(node_table))
     lookup: dict[tuple[Any, Any], AttributeTuple] = {
         (node, t): values for node, t, values in node_table.rows
     }
     if distinct:
-        node_table = node_table.deduplicate(["id", "tuple"])
-    node_weights = {
-        key[0]: count for key, count in node_table.groupby_count(["tuple"]).items()
-    }
+        with trace_span("aggregate.dedup"):
+            node_table = node_table.deduplicate(["id", "tuple"])
+        metrics.inc("algo2.dedup_rows", len(node_table))
+    with trace_span("aggregate.group_count"):
+        node_weights = {
+            key[0]: count
+            for key, count in node_table.groupby_count(["tuple"]).items()
+        }
+    metrics.inc("algo2.group_count_groups", len(node_weights))
 
-    edge_rows: list[tuple[Any, ...]] = []
-    edge_presence = graph.edge_presence.values
-    time_positions = [graph.timeline.index_of(t) for t in times]
-    for row_idx, edge in enumerate(graph.edge_presence.row_labels):
-        u, v = edge  # type: ignore[misc]
-        for t, t_pos in zip(times, time_positions):
-            if not edge_presence[row_idx, t_pos]:
-                continue
-            source = lookup.get((u, t))
-            target = lookup.get((v, t))
-            if source is None or target is None:
-                continue  # endpoint absent at t; cannot happen on valid graphs
-            edge_rows.append((edge, source, target))
-    edge_table = Table(("edge", "source", "target"), edge_rows)
+    with trace_span("aggregate.merge"):
+        edge_rows: list[tuple[Any, ...]] = []
+        edge_presence = graph.edge_presence.values
+        time_positions = [graph.timeline.index_of(t) for t in times]
+        for row_idx, edge in enumerate(graph.edge_presence.row_labels):
+            u, v = edge  # type: ignore[misc]
+            for t, t_pos in zip(times, time_positions):
+                if not edge_presence[row_idx, t_pos]:
+                    continue
+                source = lookup.get((u, t))
+                target = lookup.get((v, t))
+                if source is None or target is None:
+                    continue  # endpoint absent at t; cannot happen on valid graphs
+                edge_rows.append((edge, source, target))
+        edge_table = Table(("edge", "source", "target"), edge_rows)
+    metrics.inc("algo2.merge_rows", len(edge_table))
     if distinct:
-        edge_table = edge_table.deduplicate(["edge", "source", "target"])
-    edge_weights = {
-        (key[0], key[1]): count
-        for key, count in edge_table.groupby_count(["source", "target"]).items()
-    }
+        with trace_span("aggregate.dedup"):
+            edge_table = edge_table.deduplicate(["edge", "source", "target"])
+        metrics.inc("algo2.dedup_rows", len(edge_table))
+    with trace_span("aggregate.group_count"):
+        edge_weights = {
+            (key[0], key[1]): count
+            for key, count in edge_table.groupby_count(["source", "target"]).items()
+        }
+    metrics.inc("algo2.group_count_groups", len(edge_weights))
     return AggregateGraph(tuple(attributes), node_weights, edge_weights, distinct=distinct)
 
 
@@ -298,7 +315,15 @@ def _aggregate_static_fast(
             continue
         u, v = edge  # type: ignore[misc]
         contribution = 1 if distinct else appearances
-        key = (node_tuples[u], node_tuples[v])
+        source = node_tuples.get(u)
+        target = node_tuples.get(v)
+        if source is None or target is None:
+            missing = u if source is None else v
+            raise AggregationError(
+                f"edge {edge!r} references node {missing!r} absent from "
+                "node presence; the graph has dangling edges"
+            )
+        key = (source, target)
         edge_weights[key] = edge_weights.get(key, 0) + contribution
     return AggregateGraph(tuple(attributes), node_weights, edge_weights, distinct=distinct)
 
@@ -336,10 +361,21 @@ def aggregate(
     if times is None:
         window: TimeSet = graph.timeline.labels
     else:
-        window = tuple(times)
-        for t in window:
-            graph.timeline.index_of(t)
+        # Normalize to timeline order without duplicates: repeated or
+        # unordered time points must not change weights (ALL mode would
+        # otherwise double-count every repeated point).
+        window = ordered_times(graph, times)
     _, varying = _split_attributes(graph, attributes)
-    if varying:
-        return _aggregate_general(graph, attributes, window, distinct)
-    return _aggregate_static_fast(graph, attributes, window, distinct)
+    metrics = get_metrics()
+    metrics.inc("aggregate.calls")
+    engine = "general" if varying else "static_fast"
+    with trace_span(
+        "aggregate",
+        engine=engine,
+        distinct=distinct,
+        attributes=tuple(attributes),
+        n_times=len(window),
+    ):
+        if varying:
+            return _aggregate_general(graph, attributes, window, distinct)
+        return _aggregate_static_fast(graph, attributes, window, distinct)

@@ -25,7 +25,10 @@ import numpy as np
 from .aggregation import AggregateGraph, AttributeTuple, EdgeKey, _split_attributes
 from .graph import TemporalGraph
 from .intervals import TimeSet
+from .operators import ordered_times
 from ..errors import AggregationError
+from ..obs.metrics import get_metrics
+from ..obs.trace import trace_span
 
 __all__ = ["aggregate_fast"]
 
@@ -89,10 +92,39 @@ def aggregate_fast(
     if times is None:
         window: TimeSet = graph.timeline.labels
     else:
-        window = tuple(times)
-        for t in window:
-            graph.timeline.index_of(t)
+        # Same normalization as the literal engine: timeline order, no
+        # duplicates, so ALL mode cannot double-count repeated points.
+        window = ordered_times(graph, times)
     _split_attributes(graph, attributes)  # validates names
+    get_metrics().inc("aggregate_fast.calls")
+    with trace_span(
+        "aggregate_fast",
+        distinct=distinct,
+        attributes=tuple(attributes),
+        n_times=len(window),
+    ):
+        return _aggregate_fast_impl(graph, attributes, distinct, window)
+
+
+def _position(
+    node_pos: dict[Hashable, int], edge: Hashable, node: Hashable
+) -> int:
+    """Node's row position; dangling edges raise instead of KeyError."""
+    pos = node_pos.get(node)
+    if pos is None:
+        raise AggregationError(
+            f"edge {edge!r} references node {node!r} absent from "
+            "node presence; the graph has dangling edges"
+        )
+    return pos
+
+
+def _aggregate_fast_impl(
+    graph: TemporalGraph,
+    attributes: Sequence[str],
+    distinct: bool,
+    window: TimeSet,
+) -> AggregateGraph:
     time_positions = [graph.timeline.index_of(t) for t in window]
     n_times = len(time_positions)
 
@@ -148,12 +180,18 @@ def aggregate_fast(
     node_pos = {n: i for i, n in enumerate(graph.node_presence.row_labels)}
     if graph.n_edges:
         sources = np.fromiter(
-            (node_pos[u] for u, _ in graph.edge_presence.row_labels),  # type: ignore[misc]
+            (
+                _position(node_pos, edge, edge[0])  # type: ignore[index]
+                for edge in graph.edge_presence.row_labels
+            ),
             dtype=np.int64,
             count=graph.n_edges,
         )
         targets = np.fromiter(
-            (node_pos[v] for _, v in graph.edge_presence.row_labels),  # type: ignore[misc]
+            (
+                _position(node_pos, edge, edge[1])  # type: ignore[index]
+                for edge in graph.edge_presence.row_labels
+            ),
             dtype=np.int64,
             count=graph.n_edges,
         )

@@ -25,6 +25,8 @@ import numpy as np
 from .graph import TemporalGraph
 from .intervals import TimeSet
 from ..errors import TemporalError
+from ..obs.metrics import get_metrics
+from ..obs.trace import trace_span
 
 __all__ = [
     "project",
@@ -75,9 +77,11 @@ def project(graph: TemporalGraph, times: Iterable[Hashable]) -> TemporalGraph:
     window = ordered_times(graph, times)
     if not window:
         raise TemporalError("cannot project onto an empty time set")
-    node_mask = graph.node_presence.all_mask(window)
-    edge_mask = graph.edge_presence.all_mask(window)
-    return _restrict_by_masks(graph, node_mask, edge_mask, window)
+    get_metrics().inc("operators.project")
+    with trace_span("operator.project", n_times=len(window)):
+        node_mask = graph.node_presence.all_mask(window)
+        edge_mask = graph.edge_presence.all_mask(window)
+        return _restrict_by_masks(graph, node_mask, edge_mask, window)
 
 
 def union(
@@ -95,9 +99,11 @@ def union(
     window = ordered_times(graph, t1, t2)
     if not window:
         raise TemporalError("cannot take the union over an empty time set")
-    node_mask = graph.node_presence.any_mask(window)
-    edge_mask = graph.edge_presence.any_mask(window)
-    return _restrict_by_masks(graph, node_mask, edge_mask, window)
+    get_metrics().inc("operators.union")
+    with trace_span("operator.union", n_times=len(window)):
+        node_mask = graph.node_presence.any_mask(window)
+        edge_mask = graph.edge_presence.any_mask(window)
+        return _restrict_by_masks(graph, node_mask, edge_mask, window)
 
 
 def intersection(
@@ -115,10 +121,12 @@ def intersection(
     second = ordered_times(graph, t2)
     if not first or not second:
         raise TemporalError("intersection requires two non-empty time sets")
-    window = ordered_times(graph, first, second)
-    node_mask = graph.node_presence.any_mask(first) & graph.node_presence.any_mask(second)
-    edge_mask = graph.edge_presence.any_mask(first) & graph.edge_presence.any_mask(second)
-    return _restrict_by_masks(graph, node_mask, edge_mask, window)
+    get_metrics().inc("operators.intersection")
+    with trace_span("operator.intersection", n_times=len(first) + len(second)):
+        window = ordered_times(graph, first, second)
+        node_mask = graph.node_presence.any_mask(first) & graph.node_presence.any_mask(second)
+        edge_mask = graph.edge_presence.any_mask(first) & graph.edge_presence.any_mask(second)
+        return _restrict_by_masks(graph, node_mask, edge_mask, window)
 
 
 def difference(
@@ -141,19 +149,21 @@ def difference(
     second = ordered_times(graph, t2)
     if not first:
         raise TemporalError("difference requires a non-empty left time set")
-    edge_mask = graph.edge_presence.any_mask(first) & graph.edge_presence.none_mask(second)
-    kept_endpoints: set[Hashable] = set()
-    for edge, keep in zip(graph.edge_presence.row_labels, edge_mask):
-        if keep:
-            u, v = edge  # type: ignore[misc]
-            kept_endpoints.add(u)
-            kept_endpoints.add(v)
-    endpoint_mask = np.fromiter(
-        (n in kept_endpoints for n in graph.node_presence.row_labels),
-        dtype=bool,
-        count=graph.n_nodes,
-    )
-    node_mask = graph.node_presence.any_mask(first) & (
-        graph.node_presence.none_mask(second) | endpoint_mask
-    )
-    return _restrict_by_masks(graph, node_mask, edge_mask, first)
+    get_metrics().inc("operators.difference")
+    with trace_span("operator.difference", n_times=len(first) + len(second)):
+        edge_mask = graph.edge_presence.any_mask(first) & graph.edge_presence.none_mask(second)
+        kept_endpoints: set[Hashable] = set()
+        for edge, keep in zip(graph.edge_presence.row_labels, edge_mask):
+            if keep:
+                u, v = edge  # type: ignore[misc]
+                kept_endpoints.add(u)
+                kept_endpoints.add(v)
+        endpoint_mask = np.fromiter(
+            (n in kept_endpoints for n in graph.node_presence.row_labels),
+            dtype=bool,
+            count=graph.n_nodes,
+        )
+        node_mask = graph.node_presence.any_mask(first) & (
+            graph.node_presence.none_mask(second) | endpoint_mask
+        )
+        return _restrict_by_masks(graph, node_mask, edge_mask, first)

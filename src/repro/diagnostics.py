@@ -84,9 +84,12 @@ def check_graph(graph: TemporalGraph) -> list[Finding]:
             )
         )
 
+    # Set membership: the list scan was O(|E| * |dangling|) on graphs
+    # where most edges dangle (e.g. a node file that failed to load).
+    dangling_set = set(dangling)
     orphaned_activity = []
     for row, edge in enumerate(graph.edge_presence.row_labels):
-        if edge in dangling:
+        if edge in dangling_set:
             continue
         u, v = edge  # type: ignore[misc]
         bad = edge_values[row] & ~(node_values[node_pos[u]] & node_values[node_pos[v]])

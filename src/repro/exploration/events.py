@@ -37,6 +37,7 @@ import numpy as np
 from ..core import Interval, TemporalGraph
 from .lattice import ExtendSide, Semantics, Side
 from ..errors import ExplorationError
+from ..obs.metrics import get_metrics
 
 __all__ = [
     "EventType",
@@ -446,6 +447,7 @@ class ChainEvaluator:
             new_mask = self.counter._qualify(new)
         mask = _event_mask_from(self.event, old_mask, new_mask)
         count = self.counter.count_for_mask(self.event, old, new, mask)
+        get_metrics().inc("exploration.chain_steps")
         return ChainStep(old, new, count, mask)
 
     def pair_count(
@@ -482,6 +484,7 @@ class ChainEvaluator:
             raise ExplorationError(
                 f"chain reference {reference} out of range 0..{n_times - 2}"
             )
+        get_metrics().inc("exploration.chains")
         if extend is ExtendSide.NEW:
             old = Side.point(reference)
             reference_mask = presence[:, reference]

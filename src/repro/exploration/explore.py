@@ -46,6 +46,8 @@ from ..core import TemporalGraph
 from .events import ChainEvaluator, ChainStep, EntityKind, EventCounter, EventType
 from .lattice import ExtendSide, Semantics, Side
 from ..errors import ExplorationError
+from ..obs.metrics import get_metrics
+from ..obs.trace import trace_span
 
 __all__ = [
     "Goal",
@@ -116,6 +118,22 @@ def _pair(step: ChainStep) -> IntervalPairResult:
     return IntervalPairResult(step.old, step.new, step.count)
 
 
+def _chain_capacity(n_times: int, reference: int, extend: ExtendSide) -> int:
+    """How many pairs the full (unpruned) chain of a reference holds."""
+    if extend is ExtendSide.NEW:
+        return n_times - 1 - reference
+    return reference + 1
+
+
+def _record_pruning(
+    n_times: int, reference: int, extend: ExtendSide, taken: int
+) -> None:
+    """Credit the monotonicity pruning with the chain steps it skipped."""
+    skipped = _chain_capacity(n_times, reference, extend) - taken
+    if skipped > 0:
+        get_metrics().inc("exploration.pruned_steps", skipped)
+
+
 def u_explore(
     counter: EventCounter,
     event: EventType,
@@ -136,11 +154,14 @@ def u_explore(
     pairs: list[IntervalPairResult] = []
     evaluations = 0
     for reference in range(n_times - 1):
+        taken = 0
         for step in evaluator.chain(reference, extend, Semantics.UNION):
+            taken += 1
             evaluations += 1
             if step.count >= k:
                 pairs.append(_pair(step))
                 break
+        _record_pruning(n_times, reference, extend, taken)
     return ExplorationResult(
         event, Goal.MINIMAL, extend, k, tuple(pairs), evaluations
     )
@@ -168,12 +189,15 @@ def i_explore(
     evaluations = 0
     for reference in range(n_times - 1):
         candidate: IntervalPairResult | None = None
+        taken = 0
         for step in evaluator.chain(reference, extend, Semantics.INTERSECTION):
+            taken += 1
             evaluations += 1
             if step.count >= k:
                 candidate = _pair(step)
             else:
                 break
+        _record_pruning(n_times, reference, extend, taken)
         if candidate is not None:
             pairs.append(candidate)
     return ExplorationResult(
@@ -260,35 +284,39 @@ def explore(
     """
     if k < 1:
         raise ExplorationError(f"threshold k must be positive, got {k}")
-    counter = EventCounter(graph, entity=entity, attributes=attributes, key=key)
-    if event is EventType.STABILITY:
-        if goal is Goal.MINIMAL:
-            return u_explore(counter, event, extend, k, incremental=incremental)
-        return i_explore(counter, event, extend, k, incremental=incremental)
-    if event is EventType.GROWTH:
-        if goal is Goal.MINIMAL:
-            if extend is ExtendSide.NEW:
-                return u_explore(
+    get_metrics().inc("exploration.runs")
+    with trace_span(
+        "explore", event=str(event), goal=str(goal), extend=str(extend), k=k
+    ):
+        counter = EventCounter(graph, entity=entity, attributes=attributes, key=key)
+        if event is EventType.STABILITY:
+            if goal is Goal.MINIMAL:
+                return u_explore(counter, event, extend, k, incremental=incremental)
+            return i_explore(counter, event, extend, k, incremental=incremental)
+        if event is EventType.GROWTH:
+            if goal is Goal.MINIMAL:
+                if extend is ExtendSide.NEW:
+                    return u_explore(
+                        counter, event, extend, k, incremental=incremental
+                    )
+                return _consecutive_only(
                     counter, event, extend, k, incremental=incremental
                 )
+            if extend is ExtendSide.OLD:
+                return _longest_only(
+                    counter, event, extend, k, incremental=incremental
+                )
+            return i_explore(counter, event, extend, k, incremental=incremental)
+        # Shrinkage mirrors growth with the sides swapped.
+        if goal is Goal.MINIMAL:
+            if extend is ExtendSide.OLD:
+                return u_explore(counter, event, extend, k, incremental=incremental)
             return _consecutive_only(
                 counter, event, extend, k, incremental=incremental
             )
-        if extend is ExtendSide.OLD:
-            return _longest_only(
-                counter, event, extend, k, incremental=incremental
-            )
+        if extend is ExtendSide.NEW:
+            return _longest_only(counter, event, extend, k, incremental=incremental)
         return i_explore(counter, event, extend, k, incremental=incremental)
-    # Shrinkage mirrors growth with the sides swapped.
-    if goal is Goal.MINIMAL:
-        if extend is ExtendSide.OLD:
-            return u_explore(counter, event, extend, k, incremental=incremental)
-        return _consecutive_only(
-            counter, event, extend, k, incremental=incremental
-        )
-    if extend is ExtendSide.NEW:
-        return _longest_only(counter, event, extend, k, incremental=incremental)
-    return i_explore(counter, event, extend, k, incremental=incremental)
 
 
 def exhaustive_explore(
@@ -313,27 +341,35 @@ def exhaustive_explore(
     """
     if k < 1:
         raise ExplorationError(f"threshold k must be positive, got {k}")
-    counter = EventCounter(graph, entity=entity, attributes=attributes, key=key)
-    evaluator = ChainEvaluator(counter, event, incremental=incremental)
-    semantics = Semantics.UNION if goal is Goal.MINIMAL else Semantics.INTERSECTION
-    n_times = len(graph.timeline)
-    pairs: list[IntervalPairResult] = []
-    evaluations = 0
-    for reference in range(n_times - 1):
-        passing: list[IntervalPairResult] = []
-        for step in evaluator.chain(reference, extend, semantics):
-            evaluations += 1
-            if step.count >= k:
-                passing.append(_pair(step))
-        if not passing:
-            continue
-        if goal is Goal.MINIMAL:
-            # Definition 3.4: the shortest passing extension — no proper
-            # sub-extension passes.  Chains yield in increasing length,
-            # so that is the first passing pair.
-            pairs.append(passing[0])
-        else:
-            # Definition 3.5: the longest passing extension — no proper
-            # super-extension passes.  That is the last passing pair.
-            pairs.append(passing[-1])
-    return ExplorationResult(event, goal, extend, k, tuple(pairs), evaluations)
+    get_metrics().inc("exploration.runs")
+    with trace_span(
+        "explore.exhaustive",
+        event=str(event),
+        goal=str(goal),
+        extend=str(extend),
+        k=k,
+    ):
+        counter = EventCounter(graph, entity=entity, attributes=attributes, key=key)
+        evaluator = ChainEvaluator(counter, event, incremental=incremental)
+        semantics = Semantics.UNION if goal is Goal.MINIMAL else Semantics.INTERSECTION
+        n_times = len(graph.timeline)
+        pairs: list[IntervalPairResult] = []
+        evaluations = 0
+        for reference in range(n_times - 1):
+            passing: list[IntervalPairResult] = []
+            for step in evaluator.chain(reference, extend, semantics):
+                evaluations += 1
+                if step.count >= k:
+                    passing.append(_pair(step))
+            if not passing:
+                continue
+            if goal is Goal.MINIMAL:
+                # Definition 3.4: the shortest passing extension — no proper
+                # sub-extension passes.  Chains yield in increasing length,
+                # so that is the first passing pair.
+                pairs.append(passing[0])
+            else:
+                # Definition 3.5: the longest passing extension — no proper
+                # super-extension passes.  That is the last passing pair.
+                pairs.append(passing[-1])
+        return ExplorationResult(event, goal, extend, k, tuple(pairs), evaluations)

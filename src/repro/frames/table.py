@@ -21,8 +21,17 @@ import numpy as np
 
 from .errors import SchemaError
 from .labeled_frame import LabeledFrame
+from ..obs.metrics import get_metrics
 
 __all__ = ["Table", "unpivot"]
+
+
+def _scanned(rows: int) -> None:
+    """Report one relational pass over ``rows`` rows to the metrics
+    registry (the ``frames.rows_scanned`` counter)."""
+    metrics = get_metrics()
+    metrics.inc("frames.table_ops")
+    metrics.inc("frames.rows_scanned", rows)
 
 
 class Table:
@@ -113,10 +122,12 @@ class Table:
 
     def select(self, predicate: Callable[[tuple[Any, ...]], bool]) -> "Table":
         """Rows satisfying a predicate over the raw tuple."""
+        _scanned(len(self._rows))
         return Table(self._columns, (row for row in self._rows if predicate(row)))
 
     def project(self, columns: Sequence[str]) -> "Table":
         """Keep only the given columns (duplicates in output preserved)."""
+        _scanned(len(self._rows))
         positions = [self.column_position(c) for c in columns]
         return Table(
             tuple(columns),
@@ -152,6 +163,7 @@ class Table:
             positions = list(range(len(self._columns)))
         else:
             positions = [self.column_position(c) for c in keys]
+        _scanned(len(self._rows))
         seen: set[tuple[Any, ...]] = set()
         kept: list[tuple[Any, ...]] = []
         for row in self._rows:
@@ -186,6 +198,7 @@ class Table:
                 raise SchemaError(
                     f"join would duplicate column {name!r}; rename it first"
                 )
+        _scanned(len(self._rows) + len(other.rows))
         index: dict[tuple[Any, ...], list[tuple[Any, ...]]] = {}
         for row in other.rows:
             key = tuple(row[p] for p in right_keys)
@@ -211,20 +224,45 @@ class Table:
         """Rows sorted by the given columns (stable sort).
 
         Mixed-type columns sort by their string rendering, so ordering
-        never raises on heterogenous attribute values.
+        never raises on heterogenous attribute values.  Descending order
+        inverts the sort *key* (numeric negation; reversed rank of the
+        string rendering otherwise) rather than reversing the sorted
+        rows, so rows with equal keys keep their original order in both
+        directions.
         """
         positions = [self.column_position(c) for c in columns]
+        _scanned(len(self._rows))
 
-        def sort_key(row: tuple[Any, ...]) -> tuple[Any, ...]:
+        def _numeric(value: Any) -> bool:
+            return isinstance(value, (int, float)) and not isinstance(value, bool)
+
+        if not descending:
+
+            def sort_key(row: tuple[Any, ...]) -> tuple[Any, ...]:
+                return tuple(
+                    (0, row[p]) if _numeric(row[p]) else (1, str(row[p]))
+                    for p in positions
+                )
+
+            return Table(self._columns, sorted(self._rows, key=sort_key))
+
+        # Ascending order is (numbers ascending, then strings ascending);
+        # its exact reverse is (strings descending, then numbers
+        # descending), hence the flipped type rank below.
+        ranks: list[dict[str, int]] = []
+        for p in positions:
+            rendered = sorted(
+                {str(row[p]) for row in self._rows if not _numeric(row[p])}
+            )
+            ranks.append({s: i for i, s in enumerate(rendered)})
+
+        def sort_key_descending(row: tuple[Any, ...]) -> tuple[Any, ...]:
             return tuple(
-                (0, row[p]) if isinstance(row[p], (int, float)) and not isinstance(row[p], bool)
-                else (1, str(row[p]))
-                for p in positions
+                (1, -row[p]) if _numeric(row[p]) else (0, -rank[str(row[p])])
+                for rank, p in zip(ranks, positions)
             )
 
-        return Table(
-            self._columns, sorted(self._rows, key=sort_key, reverse=descending)
-        )
+        return Table(self._columns, sorted(self._rows, key=sort_key_descending))
 
     def limit(self, count: int) -> "Table":
         """The first ``count`` rows (the top-k companion of order_by)."""
@@ -240,6 +278,7 @@ class Table:
     def groupby_count(self, keys: Sequence[str]) -> dict[tuple[Any, ...], int]:
         """Count rows per distinct key tuple (Algorithm 2, line 8/19)."""
         positions = [self.column_position(c) for c in keys]
+        _scanned(len(self._rows))
         counts: dict[tuple[Any, ...], int] = {}
         for row in self._rows:
             key = tuple(row[p] for p in positions)
@@ -257,6 +296,7 @@ class Table:
         """
         positions = [self.column_position(c) for c in keys]
         value_position = self.column_position(value)
+        _scanned(len(self._rows))
         sums: dict[tuple[Any, ...], Any] = {}
         for row in self._rows:
             key = tuple(row[p] for p in positions)
@@ -274,6 +314,7 @@ class Table:
         """
         positions = [self.column_position(c) for c in keys]
         value_position = self.column_position(value)
+        _scanned(len(self._rows))
         groups: dict[tuple[Any, ...], list[Any]] = {}
         for row in self._rows:
             key = tuple(row[p] for p in positions)
@@ -307,16 +348,21 @@ def unpivot(
 
     This is Algorithm 2's ``unpivot`` (line 2): the per-time columns of a
     time-varying attribute array become rows, so a node contributes one
-    record per time point at which it has a value.  Cells equal to ``None``
-    (the paper's "-" entries in Table 2, i.e. the node does not exist at
-    that time) are dropped when ``drop_missing`` is set.
+    record per time point at which it has a value.  Missing cells (the
+    paper's "-" entries in Table 2, i.e. the node does not exist at that
+    time) are dropped when ``drop_missing`` is set: ``None`` on object
+    arrays, ``NaN`` on float arrays.  Bool/int arrays have no missing
+    representation and keep the all-cells fast path.
     """
     values = frame.values
     if drop_missing and values.dtype == object:
         keep = np.frompyfunc(lambda v: v is not None, 1, 1)(values).astype(bool)
         row_idx, col_idx = np.nonzero(keep)
+    elif drop_missing and values.dtype.kind == "f":
+        row_idx, col_idx = np.nonzero(~np.isnan(values))
     else:
         row_idx, col_idx = np.nonzero(np.ones(values.shape, dtype=bool))
+    get_metrics().inc("frames.unpivot_cells", int(values.size))
     row_labels = frame.row_labels
     col_labels = frame.col_labels
     rows = [

@@ -16,6 +16,8 @@ from collections.abc import Sequence
 from ..core import AggregateGraph, TemporalGraph, aggregate
 from ..core.updates import SnapshotUpdate, append_snapshot
 from ..errors import MaterializationError, UnknownLabelError
+from ..obs.metrics import get_metrics
+from ..obs.trace import trace_span
 
 __all__ = ["IncrementalStore"]
 
@@ -76,13 +78,17 @@ class IncrementalStore:
         updated by one pointwise sum per tracked attribute set.
         Returns the new graph.
         """
-        self._graph = append_snapshot(self._graph, update)
-        for attrs in self._tracked:
-            point = aggregate(
-                self._graph, list(attrs), distinct=False, times=[update.time]
-            )
-            self._points[attrs].append(point)
-            self._totals[attrs] = self._totals[attrs].combine(point)
+        with trace_span("materialize.append", time=update.time):
+            self._graph = append_snapshot(self._graph, update)
+            metrics = get_metrics()
+            metrics.inc("materialize.appends")
+            for attrs in self._tracked:
+                point = aggregate(
+                    self._graph, list(attrs), distinct=False, times=[update.time]
+                )
+                self._points[attrs].append(point)
+                self._totals[attrs] = self._totals[attrs].combine(point)
+                metrics.inc("materialize.incremental_updates")
         return self._graph
 
     def timepoint_aggregate(

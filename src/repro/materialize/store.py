@@ -27,13 +27,21 @@ from dataclasses import dataclass
 
 from ..core import AggregateGraph, TemporalGraph, aggregate, ordered_times
 from ..errors import MaterializationError
+from ..obs.metrics import get_metrics
+from ..obs.trace import trace_span
 
 __all__ = ["MaterializedStore", "StoreStats"]
 
 
 @dataclass
 class StoreStats:
-    """Cache behaviour counters for one store."""
+    """Cache behaviour counters for one store.
+
+    Every increment is mirrored into the process-wide metrics registry
+    (``materialize.cache_hits`` / ``cache_misses`` / ``derivations``), so
+    ``repro profile`` reports see cache behaviour without holding a
+    reference to the store.
+    """
 
     hits: int = 0
     misses: int = 0
@@ -42,6 +50,18 @@ class StoreStats:
     @property
     def lookups(self) -> int:
         return self.hits + self.misses
+
+    def record_hit(self) -> None:
+        self.hits += 1
+        get_metrics().inc("materialize.cache_hits")
+
+    def record_miss(self) -> None:
+        self.misses += 1
+        get_metrics().inc("materialize.cache_misses")
+
+    def record_derivation(self) -> None:
+        self.derived += 1
+        get_metrics().inc("materialize.derivations")
 
 
 class MaterializedStore:
@@ -96,12 +116,13 @@ class MaterializedStore:
         key = (time, tuple(attributes), distinct)
         cached = self._cache.get(key)
         if cached is not None:
-            self.stats.hits += 1
+            self.stats.record_hit()
             return cached
-        self.stats.misses += 1
-        result = aggregate(
-            self._graph, attributes, distinct=distinct, times=[time]
-        )
+        self.stats.record_miss()
+        with trace_span("materialize.timepoint", time=time):
+            result = aggregate(
+                self._graph, attributes, distinct=distinct, times=[time]
+            )
         self._cache[key] = result
         return result
 
@@ -129,13 +150,14 @@ class MaterializedStore:
         window = ordered_times(self._graph, times)
         if not window:
             raise MaterializationError("union_aggregate requires at least one time point")
-        total: AggregateGraph | None = None
-        for time in window:
-            point = self.timepoint_aggregate(attributes, time, distinct=False)
-            total = point if total is None else total.combine(point)
-            self.stats.derived += 1
-        assert total is not None
-        return total
+        with trace_span("materialize.union_aggregate", n_times=len(window)):
+            total: AggregateGraph | None = None
+            for time in window:
+                point = self.timepoint_aggregate(attributes, time, distinct=False)
+                total = point if total is None else total.combine(point)
+                self.stats.record_derivation()
+            assert total is not None
+            return total
 
     # ------------------------------------------------------------------
     # D-distributive derivation (attribute roll-up)
@@ -152,5 +174,6 @@ class MaterializedStore:
         aggregate on ``superset`` at one time point (Section 4.3, the
         Figure 11 experiment)."""
         base = self.timepoint_aggregate(superset, time, distinct=distinct)
-        self.stats.derived += 1
-        return base.rollup(subset)
+        self.stats.record_derivation()
+        with trace_span("materialize.rollup"):
+            return base.rollup(subset)

@@ -1,0 +1,59 @@
+"""Observability: tracing, metrics, and profiling for the pipeline.
+
+The package is dependency-free (stdlib only) and sits below every other
+layer, so the substrate (:mod:`repro.frames`), the model layer
+(:mod:`repro.core`), materialization and exploration can all report into
+it without import cycles:
+
+* :mod:`repro.obs.trace` — nested span trees with a context-manager /
+  decorator API and a no-op fast path while disabled;
+* :mod:`repro.obs.metrics` — counters, gauges and timing histograms in a
+  process-wide registry;
+* :mod:`repro.obs.export` — the JSON artifact shape and terminal
+  renderings shared by benchmarks and the ``repro profile`` CLI.
+
+The profile workload runner lives in :mod:`repro.obs.profile`; it is not
+re-exported here because it imports the upper layers (datasets, session)
+and must stay out of the substrate's import chain.
+
+See ``docs/observability.md`` for the span model and metric catalogue.
+"""
+
+from .export import (
+    observability_snapshot,
+    render_metrics,
+    render_span_tree,
+    to_json,
+    trace_to_dict,
+)
+from .metrics import MetricsRegistry, TimingHistogram, get_metrics, set_metrics
+from .trace import (
+    NullSpanHandle,
+    Span,
+    SpanHandle,
+    Tracer,
+    get_tracer,
+    set_tracer,
+    trace_span,
+    traced,
+)
+
+__all__ = [
+    "Span",
+    "SpanHandle",
+    "NullSpanHandle",
+    "Tracer",
+    "get_tracer",
+    "set_tracer",
+    "trace_span",
+    "traced",
+    "MetricsRegistry",
+    "TimingHistogram",
+    "get_metrics",
+    "set_metrics",
+    "trace_to_dict",
+    "observability_snapshot",
+    "to_json",
+    "render_span_tree",
+    "render_metrics",
+]

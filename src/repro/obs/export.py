@@ -1,0 +1,93 @@
+"""Reporting: JSON export and terminal rendering of observability data.
+
+Benchmarks and the ``repro profile`` CLI subcommand attach span trees and
+metric snapshots as artifacts; these helpers define the one JSON shape
+they all share (``{"trace": <span tree>, "metrics": <snapshot>}``) and a
+compact indented text rendering for terminals.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any
+
+from .metrics import MetricsRegistry
+from .trace import Span
+
+__all__ = [
+    "trace_to_dict",
+    "observability_snapshot",
+    "to_json",
+    "render_span_tree",
+    "render_metrics",
+]
+
+
+def trace_to_dict(span: Span | None) -> dict[str, Any] | None:
+    """The span tree as JSON-serializable nested dicts (None passes through)."""
+    return None if span is None else span.to_dict()
+
+
+def observability_snapshot(
+    span: Span | None, registry: MetricsRegistry
+) -> dict[str, Any]:
+    """The shared artifact shape: one trace plus one metric snapshot."""
+    return {"trace": trace_to_dict(span), "metrics": registry.snapshot()}
+
+
+def to_json(payload: dict[str, Any], indent: int = 2) -> str:
+    """Serialize an artifact payload, tolerating non-JSON scalar leaves."""
+    return json.dumps(payload, indent=indent, default=str, sort_keys=False)
+
+
+def _render_span(span: Span, depth: int, lines: list[str], total: float) -> None:
+    share = f" ({span.wall_s / total:5.1%})" if total > 0 else ""
+    attrs = (
+        " " + " ".join(f"{k}={v!r}" for k, v in span.attributes.items())
+        if span.attributes
+        else ""
+    )
+    lines.append(
+        f"{'  ' * depth}{span.name}: {span.wall_s * 1000:.3f} ms wall, "
+        f"{span.cpu_s * 1000:.3f} ms cpu{share}{attrs}"
+    )
+    for child in span.children:
+        _render_span(child, depth + 1, lines, total)
+
+
+def render_span_tree(span: Span | None) -> str:
+    """An indented per-span timing tree with percent-of-root shares."""
+    if span is None:
+        return "no trace recorded (tracing disabled?)"
+    lines: list[str] = []
+    _render_span(span, 0, lines, span.wall_s)
+    return "\n".join(lines)
+
+
+def render_metrics(snapshot: dict[str, Any]) -> str:
+    """Counters, gauges and timing summaries as aligned text."""
+    lines: list[str] = []
+    counters = snapshot.get("counters", {})
+    if counters:
+        lines.append("counters:")
+        width = max(len(name) for name in counters)
+        for name, value in counters.items():
+            lines.append(f"  {name.ljust(width)}  {value}")
+    gauges = snapshot.get("gauges", {})
+    if gauges:
+        lines.append("gauges:")
+        width = max(len(name) for name in gauges)
+        for name, value in gauges.items():
+            lines.append(f"  {name.ljust(width)}  {value:g}")
+    timings = snapshot.get("timings", {})
+    if timings:
+        lines.append("timings:")
+        width = max(len(name) for name in timings)
+        for name, summary in timings.items():
+            lines.append(
+                f"  {name.ljust(width)}  n={summary['count']} "
+                f"total={summary['total_s'] * 1000:.3f}ms "
+                f"mean={summary['mean_s'] * 1000:.3f}ms "
+                f"max={summary['max_s'] * 1000:.3f}ms"
+            )
+    return "\n".join(lines) if lines else "no metrics recorded"

@@ -39,6 +39,8 @@ from .exploration import (
     explore_groups,
     suggest_threshold,
 )
+from .obs.metrics import get_metrics
+from .obs.trace import Span, get_tracer, trace_span
 from .olap import TemporalGraphCube
 from .errors import UnknownLabelError, ValidationError
 
@@ -76,6 +78,27 @@ class GraphTempoSession:
         self.graph = graph
         self.hierarchy = hierarchy
         self.cube = TemporalGraphCube(graph, hierarchy=hierarchy)
+
+    # ------------------------------------------------------------------
+    # Observability
+    # ------------------------------------------------------------------
+
+    def stats(self) -> dict[str, Any]:
+        """The process-wide metric snapshot (counters/gauges/timings).
+
+        Counters are always on; the snapshot reflects everything this
+        process did, not only this session's calls.  Reset with
+        ``repro.obs.get_metrics().reset()``.
+        """
+        return get_metrics().snapshot()
+
+    def last_trace(self) -> Span | None:
+        """The most recent completed root span, if tracing is enabled.
+
+        Enable with ``repro.obs.get_tracer().enabled = True`` (or
+        install a fresh ``Tracer(enabled=True)`` via ``set_tracer``).
+        """
+        return get_tracer().last_root
 
     # ------------------------------------------------------------------
     # Window handling
@@ -145,9 +168,14 @@ class GraphTempoSession:
         distinct: bool = True,
     ) -> AggregateGraph:
         """Aggregate over a window, served through the session cube."""
-        return self.cube.cuboid(
-            attributes, times=self.window(window), distinct=distinct
-        )
+        with trace_span(
+            "session.aggregate",
+            attributes=tuple(attributes),
+            distinct=distinct,
+        ):
+            return self.cube.cuboid(
+                attributes, times=self.window(window), distinct=distinct
+            )
 
     def materialize(
         self,
@@ -172,9 +200,10 @@ class GraphTempoSession:
         attributes: Sequence[str],
     ) -> EvolutionAggregate:
         """Aggregated evolution between two windows (Definition 2.7)."""
-        return aggregate_evolution(
-            self.graph, self.window(old), self.window(new), attributes
-        )
+        with trace_span("session.evolution", attributes=tuple(attributes)):
+            return aggregate_evolution(
+                self.graph, self.window(old), self.window(new), attributes
+            )
 
     def explore(
         self,
@@ -196,15 +225,21 @@ class GraphTempoSession:
         goal = Goal(goal) if isinstance(goal, str) else goal
         extend = ExtendSide(extend) if isinstance(extend, str) else extend
         entity = EntityKind(entity) if isinstance(entity, str) else entity
-        if k is None:
-            k = suggest_threshold(
-                self.graph, event, mode="max",
+        with trace_span(
+            "session.explore",
+            event=str(event),
+            goal=str(goal),
+            extend=str(extend),
+        ):
+            if k is None:
+                k = suggest_threshold(
+                    self.graph, event, mode="max",
+                    entity=entity, attributes=attributes, key=key,
+                )
+            return explore(
+                self.graph, event, goal, extend, k,
                 entity=entity, attributes=attributes, key=key,
             )
-        return explore(
-            self.graph, event, goal, extend, k,
-            entity=entity, attributes=attributes, key=key,
-        )
 
     def explore_groups(
         self,
@@ -220,9 +255,14 @@ class GraphTempoSession:
         goal = Goal(goal) if isinstance(goal, str) else goal
         extend = ExtendSide(extend) if isinstance(extend, str) else extend
         entity = EntityKind(entity) if isinstance(entity, str) else entity
-        return explore_groups(
-            self.graph, event, goal, extend, k, attributes, entity=entity
-        )
+        with trace_span(
+            "session.explore_groups",
+            event=str(event),
+            attributes=tuple(attributes),
+        ):
+            return explore_groups(
+                self.graph, event, goal, extend, k, attributes, entity=entity
+            )
 
     # ------------------------------------------------------------------
     # Zoom and reports

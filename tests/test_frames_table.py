@@ -213,6 +213,41 @@ class TestUnpivot:
         long = unpivot(frame)
         assert [row[2] for row in long.rows] == [1, 2, 3, 4]
 
+    def test_unpivot_drops_nan_on_float_frames(self):
+        # Regression: drop_missing used to recognize None on object
+        # arrays only, silently keeping NaN rows from float frames.
+        import numpy as np
+
+        frame = LabeledFrame(
+            ["u1", "u2"],
+            ["t0", "t1"],
+            np.array([[3.0, np.nan], [1.0, 1.0]], dtype=float),
+        )
+        long = unpivot(frame)
+        assert len(long) == 3
+        assert all(not np.isnan(row[2]) for row in long.rows)
+
+    def test_unpivot_keeps_nan_when_not_dropping(self):
+        import numpy as np
+
+        frame = LabeledFrame(
+            ["u1"], ["t0", "t1"], np.array([[3.0, np.nan]], dtype=float)
+        )
+        assert len(unpivot(frame, drop_missing=False)) == 2
+
+    def test_unpivot_bool_and_int_frames_keep_all_cells(self):
+        # Bool/int arrays have no missing representation; the all-cells
+        # fast path must not change under drop_missing.
+        import numpy as np
+
+        for dtype in (bool, np.int64):
+            frame = LabeledFrame(
+                ["u1", "u2"],
+                ["t0", "t1"],
+                np.array([[1, 0], [0, 1]], dtype=dtype),
+            )
+            assert len(unpivot(frame)) == 4
+
     def test_to_string(self, table):
         text = table.to_string(max_rows=2)
         assert "id" in text and "more rows" in text
@@ -226,6 +261,32 @@ class TestOrderLimitDistinct:
     def test_order_by_descending(self, table):
         ordered = table.order_by(["value"], descending=True)
         assert ordered.rows[0][2] == 3
+
+    def test_order_by_descending_keeps_tie_order(self):
+        # Regression: descending used sorted(reverse=True), which
+        # reverses the original order of equal keys.
+        rows = [("a", 1), ("b", 2), ("c", 1), ("d", 2), ("e", 1)]
+        ordered = Table(["k", "x"], rows).order_by(["x"], descending=True)
+        assert [r[0] for r in ordered.rows] == ["b", "d", "a", "c", "e"]
+
+    def test_order_by_descending_string_ties(self):
+        rows = [("a", "low"), ("b", "high"), ("c", "low"), ("d", "high")]
+        ordered = Table(["k", "x"], rows).order_by(["x"], descending=True)
+        assert [r[0] for r in ordered.rows] == ["a", "c", "b", "d"]
+
+    def test_order_by_descending_mixed_types(self):
+        # Descending is the exact reverse of the ascending *order* (not
+        # the ascending rows): strings before numbers, each descending.
+        rows = [("a", 2), ("b", "high"), ("c", 5), ("d", "alpha")]
+        ordered = Table(["k", "x"], rows).order_by(["x"], descending=True)
+        assert [r[1] for r in ordered.rows] == ["high", "alpha", 5, 2]
+
+    def test_order_by_descending_multi_column(self):
+        rows = [("a", 1, "x"), ("b", 1, "y"), ("c", 2, "x")]
+        ordered = Table(["k", "n", "s"], rows).order_by(
+            ["n", "s"], descending=True
+        )
+        assert [r[0] for r in ordered.rows] == ["c", "b", "a"]
 
     def test_order_by_multiple_columns(self, table):
         ordered = table.order_by(["id", "t"])
