@@ -4,6 +4,10 @@ The benchmark suite runs against the synthetic DBLP/MovieLens graphs at a
 configurable fraction of the paper's sizes.  Set ``REPRO_BENCH_SCALE``
 (default 0.05) to trade fidelity for runtime; 1.0 regenerates the paper's
 full Table 3/4 sizes (dataset generation alone then takes ~90 s).
+
+Randomness derives from the same ``REPRO_TEST_SEED`` env var as the test
+suite (default 0 = the committed baseline); the seed is printed in the
+pytest header and on every failure so benchmark flakes are replayable.
 """
 
 from __future__ import annotations
@@ -15,6 +19,27 @@ import pytest
 from repro.datasets import generate_dblp, generate_movielens
 
 BENCH_SCALE = float(os.environ.get("REPRO_BENCH_SCALE", "0.05"))
+TEST_SEED = int(os.environ.get("REPRO_TEST_SEED", "0"))
+
+
+def pytest_report_header(config):
+    return f"REPRO_TEST_SEED={TEST_SEED} REPRO_BENCH_SCALE={BENCH_SCALE}"
+
+
+@pytest.hookimpl(wrapper=True)
+def pytest_runtest_makereport(item, call):
+    report = yield
+    if report.failed:
+        report.sections.append(
+            ("seed", f"REPRO_TEST_SEED={TEST_SEED} (replay with this env var)")
+        )
+    return report
+
+
+@pytest.fixture(scope="session")
+def test_seed() -> int:
+    """The suite-wide base seed (``REPRO_TEST_SEED``, default 0)."""
+    return TEST_SEED
 
 
 @pytest.fixture(scope="session")
@@ -25,10 +50,10 @@ def bench_scale() -> float:
 @pytest.fixture(scope="session")
 def dblp():
     """The DBLP-like graph at the benchmark scale."""
-    return generate_dblp(scale=BENCH_SCALE)
+    return generate_dblp(scale=BENCH_SCALE, seed=7 + TEST_SEED)
 
 
 @pytest.fixture(scope="session")
 def movielens():
     """The MovieLens-like graph at the benchmark scale."""
-    return generate_movielens(scale=BENCH_SCALE)
+    return generate_movielens(scale=BENCH_SCALE, seed=11 + TEST_SEED)

@@ -289,6 +289,33 @@ def _run_timeseries(args: argparse.Namespace) -> None:
         print()
 
 
+def _run_fuzz(args: argparse.Namespace) -> None:
+    from .errors import ConfigurationError
+    from .testing import law_registry, run_fuzz
+
+    registry = law_registry()
+    if args.list_laws:
+        for law in registry.values():
+            hostility = "" if law.hostile_safe else "  [skipped on hostile graphs]"
+            print(f"{law.name}: {law.description}{hostility}")
+        return
+    try:
+        report = run_fuzz(
+            seed=args.seed,
+            cases=args.cases,
+            laws=args.laws or None,
+            out_dir=args.out,
+            shrink=not args.no_shrink,
+        )
+    except ConfigurationError as exc:
+        raise SystemExit(str(exc)) from exc
+    print(report.summary())
+    for failure in report.failures:
+        print(f"  {failure}")
+    if not report.ok:
+        raise SystemExit(1)
+
+
 def _run_check(args: argparse.Namespace) -> None:
     from .diagnostics import check_graph, format_findings
 
@@ -415,6 +442,22 @@ def build_parser() -> argparse.ArgumentParser:
     query.add_argument("--scale", type=float, default=0.05)
     query.add_argument("--rows", type=int, default=12)
     query.set_defaults(func=_run_query)
+
+    fuzz = sub.add_parser(
+        "fuzz",
+        help="differential/metamorphic fuzzing of the temporal algebra",
+    )
+    fuzz.add_argument("--seed", type=int, default=0)
+    fuzz.add_argument("--cases", type=int, default=100)
+    fuzz.add_argument("--laws", nargs="*", default=None, metavar="LAW",
+                      help="law names to run (default: all registered laws)")
+    fuzz.add_argument("--out", default=None, metavar="DIR",
+                      help="directory for shrunk-counterexample reproducers")
+    fuzz.add_argument("--no-shrink", action="store_true",
+                      help="report raw counterexamples without shrinking")
+    fuzz.add_argument("--list-laws", action="store_true",
+                      help="list registered laws and exit")
+    fuzz.set_defaults(func=_run_fuzz)
 
     check = sub.add_parser("check", help="run graph consistency diagnostics")
     check.add_argument("--dataset", choices=["dblp", "movielens"], default="dblp")

@@ -1,7 +1,13 @@
 """The GraphTempo model: temporal attributed graphs, temporal operators,
 attribute aggregation and the evolution graph (Sections 2 and 4)."""
 
-from .aggregation import AggregateGraph, aggregate
+from .aggregation import (
+    AggregateGraph,
+    aggregate,
+    aggregate_general,
+    check_no_dangling_edges,
+    validated_window,
+)
 from .derived import degree_class, with_degree_attribute, with_derived_attribute
 from .evolution import (
     EvolutionAggregate,
@@ -10,14 +16,21 @@ from .evolution import (
     aggregate_evolution,
     evolution,
 )
-from .fast import aggregate_fast
+from .fast import AggregationEngine, aggregate_fast, aggregation_engines
 from .filters import attribute_predicate, filter_appearances
 from .graph import GraphIntegrityError, TemporalGraph, TemporalGraphBuilder
 from .intervals import Interval, Timeline
 from .measures import MEASURES, MeasureGraph, aggregate_edge_measure, aggregate_measure
 from .granularity import TimeHierarchy, coarsen
-from .operators import difference, intersection, ordered_times, project, union
-from .updates import SnapshotUpdate, append_snapshot
+from .operators import (
+    difference,
+    intersection,
+    ordered_times,
+    presence_signature,
+    project,
+    union,
+)
+from .updates import SnapshotUpdate, append_snapshot, snapshot_at, split_history
 
 __all__ = [
     "TemporalGraph",
@@ -30,9 +43,15 @@ __all__ = [
     "intersection",
     "difference",
     "ordered_times",
+    "presence_signature",
     "AggregateGraph",
     "aggregate",
+    "aggregate_general",
     "aggregate_fast",
+    "aggregation_engines",
+    "AggregationEngine",
+    "check_no_dangling_edges",
+    "validated_window",
     "aggregate_measure",
     "aggregate_edge_measure",
     "MeasureGraph",
@@ -48,6 +67,8 @@ __all__ = [
     "coarsen",
     "SnapshotUpdate",
     "append_snapshot",
+    "snapshot_at",
+    "split_history",
     "with_derived_attribute",
     "with_degree_attribute",
     "degree_class",

@@ -30,7 +30,35 @@ from .intervals import TimeSet
 from .operators import ordered_times
 from ..errors import AggregationError, UnknownLabelError
 
-__all__ = ["AggregateGraph", "aggregate", "AttributeTuple", "EdgeKey"]
+__all__ = [
+    "AggregateGraph",
+    "aggregate",
+    "aggregate_general",
+    "check_no_dangling_edges",
+    "validated_window",
+    "AttributeTuple",
+    "EdgeKey",
+]
+
+
+def check_no_dangling_edges(graph: TemporalGraph) -> None:
+    """Raise :class:`AggregationError` if any edge lacks a node row.
+
+    All three aggregation engines share this contract: a dangling edge is
+    a structural defect of the graph and fails loudly, independently of
+    whether the edge happens to be present inside the aggregation window.
+    (The differential fuzz oracle relies on the engines agreeing on
+    errors as much as on weights.)
+    """
+    node_set = set(graph.node_presence.row_labels)
+    for edge in graph.edge_presence.row_labels:
+        u, v = edge  # type: ignore[misc]
+        if u not in node_set or v not in node_set:
+            missing = u if u not in node_set else v
+            raise AggregationError(
+                f"edge {edge!r} references node {missing!r} absent from "
+                "node presence; the graph has dangling edges"
+            )
 
 #: One aggregate node: the tuple of attribute values that defines it.
 AttributeTuple = tuple[Any, ...]
@@ -148,6 +176,38 @@ class AggregateGraph:
         return self.combine(other)
 
     # ------------------------------------------------------------------
+    # Comparison (the differential oracle's unit of observation)
+    # ------------------------------------------------------------------
+
+    def diff(self, other: "AggregateGraph") -> tuple[str, ...]:
+        """Human-readable differences from another aggregate.
+
+        Empty when the two are identical in every observable way
+        (attributes, variant, and every node/edge weight).  Weight maps
+        are compared key by key, so a mismatch names the first divergent
+        aggregate entity instead of just "not equal" — this is what the
+        differential fuzz oracle reports when two engines disagree.
+        """
+        problems: list[str] = []
+        if self.attributes != other.attributes:
+            problems.append(
+                f"attributes differ: {self.attributes!r} != {other.attributes!r}"
+            )
+        if self.distinct != other.distinct:
+            problems.append(
+                f"variant differs: distinct={self.distinct} != {other.distinct}"
+            )
+        for kind, ours, theirs in (
+            ("node", self.node_weights, other.node_weights),
+            ("edge", self.edge_weights, other.edge_weights),
+        ):
+            for key in sorted(set(ours) | set(theirs), key=repr):
+                a, b = ours.get(key, 0), theirs.get(key, 0)
+                if a != b:
+                    problems.append(f"{kind} weight {key!r}: {a} != {b}")
+        return tuple(problems)
+
+    # ------------------------------------------------------------------
     # Presentation
     # ------------------------------------------------------------------
 
@@ -256,6 +316,7 @@ def _aggregate_general(
         edge_rows: list[tuple[Any, ...]] = []
         edge_presence = graph.edge_presence.values
         time_positions = [graph.timeline.index_of(t) for t in times]
+        check_no_dangling_edges(graph)
         for row_idx, edge in enumerate(graph.edge_presence.row_labels):
             u, v = edge  # type: ignore[misc]
             for t, t_pos in zip(times, time_positions):
@@ -293,6 +354,7 @@ def _aggregate_static_fast(
     time.  DIST counts qualifying nodes/edges once; ALL weights each by
     its number of presence columns inside ``times`` and sums.
     """
+    check_no_dangling_edges(graph)
     positions = [graph.static_attrs.col_position(name) for name in attributes]
     static_values = graph.static_attrs.values
     node_tuples: dict[Hashable, AttributeTuple] = {
@@ -315,15 +377,7 @@ def _aggregate_static_fast(
             continue
         u, v = edge  # type: ignore[misc]
         contribution = 1 if distinct else appearances
-        source = node_tuples.get(u)
-        target = node_tuples.get(v)
-        if source is None or target is None:
-            missing = u if source is None else v
-            raise AggregationError(
-                f"edge {edge!r} references node {missing!r} absent from "
-                "node presence; the graph has dangling edges"
-            )
-        key = (source, target)
+        key = (node_tuples[u], node_tuples[v])
         edge_weights[key] = edge_weights.get(key, 0) + contribution
     return AggregateGraph(tuple(attributes), node_weights, edge_weights, distinct=distinct)
 
@@ -354,17 +408,7 @@ def aggregate(
     AggregateGraph
         COUNT-weighted aggregate nodes and edges.
     """
-    if not attributes:
-        raise AggregationError("aggregation needs at least one attribute")
-    if len(set(attributes)) != len(attributes):
-        raise AggregationError(f"duplicate aggregation attributes: {attributes!r}")
-    if times is None:
-        window: TimeSet = graph.timeline.labels
-    else:
-        # Normalize to timeline order without duplicates: repeated or
-        # unordered time points must not change weights (ALL mode would
-        # otherwise double-count every repeated point).
-        window = ordered_times(graph, times)
+    window = validated_window(graph, attributes, times)
     _, varying = _split_attributes(graph, attributes)
     metrics = get_metrics()
     metrics.inc("aggregate.calls")
@@ -379,3 +423,53 @@ def aggregate(
         if varying:
             return _aggregate_general(graph, attributes, window, distinct)
         return _aggregate_static_fast(graph, attributes, window, distinct)
+
+
+def validated_window(
+    graph: TemporalGraph,
+    attributes: Sequence[str],
+    times: Iterable[Hashable] | None,
+) -> TimeSet:
+    """Shared argument validation for every aggregation engine.
+
+    Checks the attribute list is non-empty and duplicate-free, and
+    normalizes ``times`` to timeline order without duplicates: repeated
+    or unordered time points must not change weights (ALL mode would
+    otherwise double-count every repeated point).
+    """
+    if not attributes:
+        raise AggregationError("aggregation needs at least one attribute")
+    if len(set(attributes)) != len(attributes):
+        raise AggregationError(f"duplicate aggregation attributes: {attributes!r}")
+    if times is None:
+        return graph.timeline.labels
+    return ordered_times(graph, times)
+
+
+def aggregate_general(
+    graph: TemporalGraph,
+    attributes: Sequence[str],
+    distinct: bool = True,
+    times: Iterable[Hashable] | None = None,
+) -> AggregateGraph:
+    """Algorithm 2's general path, forced even for static-only attributes.
+
+    :func:`aggregate` switches to the Section 4.2 fast path when every
+    aggregation attribute is static; this entry point always runs the
+    unpivot / merge / deduplicate / group-count pipeline instead.  Both
+    must produce identical aggregates — the differential fuzz oracle
+    (:mod:`repro.testing`) runs workloads through this engine, the
+    dispatching one, and :func:`repro.core.aggregate_fast` and diffs the
+    results bit-exactly.
+    """
+    window = validated_window(graph, attributes, times)
+    _split_attributes(graph, attributes)  # validates names
+    get_metrics().inc("aggregate.calls")
+    with trace_span(
+        "aggregate",
+        engine="general_forced",
+        distinct=distinct,
+        attributes=tuple(attributes),
+        n_times=len(window),
+    ):
+        return _aggregate_general(graph, attributes, window, distinct)

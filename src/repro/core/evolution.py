@@ -156,6 +156,36 @@ class EvolutionAggregate:
             (tuple(source), tuple(target)), EvolutionWeights()
         )
 
+    def diff(self, other: "EvolutionAggregate") -> tuple[str, ...]:
+        """Human-readable differences from another evolution aggregate.
+
+        Empty when both carry the same attributes, intervals and the
+        same (stability, growth, shrinkage) weights for every aggregate
+        node and edge — the comparison unit of the differential fuzz
+        oracle for Fig. 4b semantics.
+        """
+        problems: list[str] = []
+        if self.attributes != other.attributes:
+            problems.append(
+                f"attributes differ: {self.attributes!r} != {other.attributes!r}"
+            )
+        if (self.old_times, self.new_times) != (other.old_times, other.new_times):
+            problems.append(
+                f"intervals differ: {(self.old_times, self.new_times)!r} != "
+                f"{(other.old_times, other.new_times)!r}"
+            )
+        zero = EvolutionWeights()
+        for kind, ours, theirs in (
+            ("node", self.node_weights, other.node_weights),
+            ("edge", self.edge_weights, other.edge_weights),
+        ):
+            for key in sorted(set(ours) | set(theirs), key=repr):
+                a = ours.get(key, zero)  # type: ignore[arg-type]
+                b = theirs.get(key, zero)  # type: ignore[arg-type]
+                if a != b:
+                    problems.append(f"{kind} weights {key!r}: {a} != {b}")
+        return tuple(problems)
+
     def totals(self) -> EvolutionWeights:
         """Summed node weights across all aggregate nodes."""
         return EvolutionWeights(

@@ -18,19 +18,38 @@ gap (roughly an order of magnitude on the evaluation graphs).
 from __future__ import annotations
 
 from collections.abc import Hashable, Iterable, Sequence
-from typing import Any
+from typing import Any, Protocol
 
 import numpy as np
 
-from .aggregation import AggregateGraph, AttributeTuple, EdgeKey, _split_attributes
+from .aggregation import (
+    AggregateGraph,
+    AttributeTuple,
+    EdgeKey,
+    _split_attributes,
+    aggregate,
+    aggregate_general,
+    validated_window,
+)
 from .graph import TemporalGraph
 from .intervals import TimeSet
-from .operators import ordered_times
 from ..errors import AggregationError
 from ..obs.metrics import get_metrics
 from ..obs.trace import trace_span
 
-__all__ = ["aggregate_fast"]
+__all__ = ["aggregate_fast", "AggregationEngine", "aggregation_engines"]
+
+
+class AggregationEngine(Protocol):
+    """The call signature every interchangeable aggregation engine has."""
+
+    def __call__(
+        self,
+        graph: TemporalGraph,
+        attributes: Sequence[str],
+        distinct: bool = True,
+        times: Iterable[Hashable] | None = None,
+    ) -> AggregateGraph: ...
 
 #: Code reserved for "no value" cells so absent appearances never collide
 #: with a real attribute value.
@@ -85,16 +104,10 @@ def aggregate_fast(
     times: Iterable[Hashable] | None = None,
 ) -> AggregateGraph:
     """Drop-in vectorized equivalent of :func:`repro.core.aggregate`."""
-    if not attributes:
-        raise AggregationError("aggregation needs at least one attribute")
-    if len(set(attributes)) != len(attributes):
-        raise AggregationError(f"duplicate aggregation attributes: {attributes!r}")
-    if times is None:
-        window: TimeSet = graph.timeline.labels
-    else:
-        # Same normalization as the literal engine: timeline order, no
-        # duplicates, so ALL mode cannot double-count repeated points.
-        window = ordered_times(graph, times)
+    # Same validation/normalization as the literal engine: timeline
+    # order, no duplicates, so ALL mode cannot double-count repeated
+    # points.
+    window: TimeSet = validated_window(graph, attributes, times)
     _split_attributes(graph, attributes)  # validates names
     get_metrics().inc("aggregate_fast.calls")
     with trace_span(
@@ -226,3 +239,22 @@ def _aggregate_fast_impl(
     return AggregateGraph(
         tuple(attributes), node_weights, edge_weights, distinct=distinct
     )
+
+
+#: The interchangeable aggregation engines, keyed by name.  ``algo2`` is
+#: the dispatching literal transcription (static fast path when it
+#: applies), ``general`` forces Algorithm 2's unpivot pipeline, and
+#: ``fast`` is this module's vectorized implementation.  All three must
+#: produce identical aggregates — and raise the same taxonomy errors —
+#: on every input; the differential fuzz oracle (``repro.testing``)
+#: enforces this continuously on random graphs.
+_ENGINES: dict[str, AggregationEngine] = {
+    "algo2": aggregate,
+    "general": aggregate_general,
+    "fast": aggregate_fast,
+}
+
+
+def aggregation_engines() -> dict[str, AggregationEngine]:
+    """A copy of the engine registry (name -> drop-in callable)."""
+    return dict(_ENGINES)

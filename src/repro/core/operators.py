@@ -34,6 +34,7 @@ __all__ = [
     "intersection",
     "difference",
     "ordered_times",
+    "presence_signature",
 ]
 
 
@@ -51,6 +52,36 @@ def ordered_times(
             graph.timeline.index_of(label)
             wanted.add(label)
     return tuple(t for t in graph.timeline.labels if t in wanted)
+
+
+def presence_signature(
+    graph: TemporalGraph,
+) -> tuple[
+    dict[Hashable, tuple[Hashable, ...]],
+    dict[Hashable, tuple[Hashable, ...]],
+]:
+    """Canonical ``(node -> active times, edge -> active times)`` maps.
+
+    Two operator results are observably equal iff their signatures are —
+    regardless of row storage order.  The metamorphic laws of
+    :mod:`repro.testing` compare operator algebra (commutativity,
+    idempotence, the union partition of Definition 2.7) through this
+    helper instead of positional array equality.
+    """
+    times = graph.timeline.labels
+    node_map: dict[Hashable, tuple[Hashable, ...]] = {}
+    node_values = graph.node_presence.values
+    for row, node in enumerate(graph.node_presence.row_labels):
+        node_map[node] = tuple(
+            t for t, flag in zip(times, node_values[row]) if flag
+        )
+    edge_map: dict[Hashable, tuple[Hashable, ...]] = {}
+    edge_values = graph.edge_presence.values
+    for row, edge in enumerate(graph.edge_presence.row_labels):
+        edge_map[edge] = tuple(
+            t for t, flag in zip(times, edge_values[row]) if flag
+        )
+    return node_map, edge_map
 
 
 def _restrict_by_masks(

@@ -23,7 +23,7 @@ from .graph import EdgeId, NodeId, TemporalGraph
 from .intervals import Timeline
 from ..errors import UnknownLabelError, ValidationError
 
-__all__ = ["SnapshotUpdate", "append_snapshot"]
+__all__ = ["SnapshotUpdate", "append_snapshot", "snapshot_at", "split_history"]
 
 
 @dataclass(frozen=True)
@@ -148,3 +148,78 @@ def append_snapshot(graph: TemporalGraph, update: SnapshotUpdate) -> TemporalGra
         validate=False,
         edge_attrs=edge_attr_frame,
     )
+
+
+def snapshot_at(graph: TemporalGraph, time: Hashable) -> SnapshotUpdate:
+    """The :class:`SnapshotUpdate` that reconstructs one existing point.
+
+    Raises :class:`~repro.errors.UnknownLabelError` for a time point not
+    on the timeline.  Static values are included for *every* node present
+    at the point (``append_snapshot`` ignores them for known nodes), so
+    the update is replayable regardless of when each node first appeared.
+    """
+    pos = graph.timeline.index_of(time)
+    varying_names = graph.varying_attribute_names
+    nodes: dict[NodeId, dict[str, Any]] = {}
+    node_values = graph.node_presence.values
+    for row, node in enumerate(graph.node_presence.row_labels):
+        if not node_values[row, pos]:
+            continue
+        values: dict[str, Any] = {}
+        for name in varying_names:
+            value = graph.varying_attrs[name].values[row, pos]
+            if value is not None:
+                values[name] = value
+        nodes[node] = values
+
+    static_names = [str(c) for c in graph.static_attrs.col_labels]
+    static: dict[NodeId, dict[str, Any]] = {}
+    for row, node in enumerate(graph.static_attrs.row_labels):
+        if node not in nodes:
+            continue
+        static[node] = {
+            name: graph.static_attrs.values[row, col]
+            for col, name in enumerate(static_names)
+        }
+
+    edge_values = graph.edge_presence.values
+    edges = tuple(
+        edge
+        for row, edge in enumerate(graph.edge_presence.row_labels)
+        if edge_values[row, pos]
+    )
+
+    edge_attrs: dict[EdgeId, dict[str, Any]] = {}
+    if graph.edge_attrs is not None:
+        names = [str(c) for c in graph.edge_attrs.col_labels]
+        edge_set = set(edges)
+        for row, edge in enumerate(graph.edge_attrs.row_labels):
+            if edge not in edge_set:
+                continue
+            edge_attrs[edge] = {  # type: ignore[index]
+                name: graph.edge_attrs.values[row, col]
+                for col, name in enumerate(names)
+            }
+    return SnapshotUpdate(
+        time=time, nodes=nodes, static=static, edges=edges, edge_attrs=edge_attrs
+    )
+
+
+def split_history(
+    graph: TemporalGraph,
+) -> tuple[TemporalGraph, list[SnapshotUpdate]]:
+    """Decompose a graph into its first point plus per-point updates.
+
+    Replaying the updates through :func:`append_snapshot` (or feeding
+    them to :meth:`repro.materialize.IncrementalStore.append`) rebuilds a
+    graph observably equal to the input — the replay identity the
+    differential fuzz oracle checks for the incremental store.
+    """
+    labels = graph.timeline.labels
+    first = labels[0]
+    initial = graph.restricted(
+        graph.node_presence.rows_any([first]),
+        graph.edge_presence.rows_any([first]),
+        [first],
+    )
+    return initial, [snapshot_at(graph, t) for t in labels[1:]]

@@ -45,6 +45,7 @@ __all__ = [
     "EventCounter",
     "ChainEvaluator",
     "ChainStep",
+    "event_mask_from",
 ]
 
 #: Sentinel tuple code for a key whose tuple never occurs in the graph:
@@ -74,15 +75,34 @@ class EntityKind(enum.Enum):
         return self.value
 
 
-def _event_mask_from(
+def event_mask_from(
     event: EventType, old_mask: np.ndarray, new_mask: np.ndarray
 ) -> np.ndarray:
-    """Combine two side-qualification masks into the event-entity mask."""
+    """Combine two side-qualification masks into the event-entity mask.
+
+    Public because it *is* the lattice-to-operator correspondence the
+    metamorphic laws check: stability is the intersection mask, growth
+    the ``new - old`` difference mask, shrinkage the reverse.
+    """
     if event is EventType.STABILITY:
         return old_mask & new_mask
     if event is EventType.GROWTH:
         return new_mask & ~old_mask
     return old_mask & ~new_mask
+
+
+def _endpoint_entry(
+    mapping: dict[Hashable, Any], edge: Hashable, node: Hashable
+) -> Any:
+    """A per-node table entry for an edge endpoint; dangling edges raise
+    from the taxonomy instead of leaking a bare ``KeyError``."""
+    try:
+        return mapping[node]
+    except KeyError:
+        raise ExplorationError(
+            f"edge {edge!r} references node {node!r} absent from "
+            "node presence; the graph has dangling edges"
+        ) from None
 
 
 class EventCounter:
@@ -172,7 +192,8 @@ class EventCounter:
         source_key, target_key = tuple(source_key), tuple(target_key)
         return np.fromiter(
             (
-                tuples[u] == source_key and tuples[v] == target_key
+                _endpoint_entry(tuples, (u, v), u) == source_key
+                and _endpoint_entry(tuples, (u, v), v) == target_key
                 for u, v in self.graph.edge_presence.row_labels  # type: ignore[misc]
             ),
             dtype=bool,
@@ -233,16 +254,16 @@ class EventCounter:
         }
         source_rows = np.fromiter(
             (
-                node_position[u]
-                for u, _ in graph.edge_presence.row_labels  # type: ignore[misc]
+                _endpoint_entry(node_position, (u, v), u)
+                for u, v in graph.edge_presence.row_labels  # type: ignore[misc]
             ),
             dtype=np.int64,
             count=graph.n_edges,
         )
         target_rows = np.fromiter(
             (
-                node_position[v]
-                for _, v in graph.edge_presence.row_labels  # type: ignore[misc]
+                _endpoint_entry(node_position, (u, v), v)
+                for u, v in graph.edge_presence.row_labels  # type: ignore[misc]
             ),
             dtype=np.int64,
             count=graph.n_edges,
@@ -281,7 +302,7 @@ class EventCounter:
 
     def event_mask(self, event: EventType, old: Side, new: Side) -> np.ndarray:
         """Boolean mask of entities participating in the event."""
-        return _event_mask_from(event, self._qualify(old), self._qualify(new))
+        return event_mask_from(event, self._qualify(old), self._qualify(new))
 
     def event_entities(
         self, event: EventType, old: Side, new: Side
@@ -445,7 +466,7 @@ class ChainEvaluator:
         if not self.incremental or old_mask is None or new_mask is None:
             old_mask = self.counter._qualify(old)
             new_mask = self.counter._qualify(new)
-        mask = _event_mask_from(self.event, old_mask, new_mask)
+        mask = event_mask_from(self.event, old_mask, new_mask)
         count = self.counter.count_for_mask(self.event, old, new, mask)
         get_metrics().inc("exploration.chain_steps")
         return ChainStep(old, new, count, mask)

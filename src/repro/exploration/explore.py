@@ -106,6 +106,29 @@ class ExplorationResult:
             return None
         return max(self.pairs, key=lambda pair: pair.count)
 
+    def diff(self, other: "ExplorationResult") -> tuple[str, ...]:
+        """Human-readable differences from another exploration result.
+
+        Compares the problem parameters and the *set* of reported
+        ``(old, new, count)`` pairs; ``evaluations`` is deliberately
+        ignored — it is the cost metric strategies legitimately differ
+        on, not part of the answer the differential oracle diffs.
+        """
+        problems: list[str] = []
+        for field_name in ("event", "goal", "extend", "k"):
+            ours = getattr(self, field_name)
+            theirs = getattr(other, field_name)
+            if ours != theirs:
+                problems.append(f"{field_name} differs: {ours} != {theirs}")
+        mine = {(str(p.old), str(p.new)): p.count for p in self.pairs}
+        yours = {(str(p.old), str(p.new)): p.count for p in other.pairs}
+        for key in sorted(set(mine) | set(yours)):
+            a = mine.get(key)
+            b = yours.get(key)
+            if a != b:
+                problems.append(f"pair {key!r}: count {a} != {b}")
+        return tuple(problems)
+
     def __str__(self) -> str:
         pairs = ", ".join(str(p) for p in self.pairs) or "none"
         return (

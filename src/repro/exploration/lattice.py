@@ -19,7 +19,8 @@ import enum
 from collections.abc import Iterator
 from dataclasses import dataclass
 
-from ..core import Interval
+from ..core import Interval, Timeline
+from ..core.intervals import TimeSet
 from ..errors import ExplorationError
 
 __all__ = ["Semantics", "Side", "ExtendSide", "right_chain", "left_chain"]
@@ -72,6 +73,16 @@ class Side:
     def extend_left(self) -> "Side":
         """The left child in this side's semi-lattice."""
         return Side(self.interval.extend_left(), self.semantics)
+
+    def labels(self, timeline: Timeline) -> TimeSet:
+        """The time-point labels this side spans on a concrete timeline.
+
+        This is the bridge from lattice coordinates to operator time
+        sets: under union semantics the side *is* ``union(labels)``,
+        under intersection semantics ``project(labels)`` — the
+        correspondence the metamorphic exploration laws exercise.
+        """
+        return timeline.labels_for(self.interval)
 
     def __str__(self) -> str:
         if self.is_point:

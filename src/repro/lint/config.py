@@ -86,7 +86,7 @@ DEFAULTS: dict[str, Any] = {
     },
     "GT003": {
         "modules": ["repro.*"],
-        "exempt": ["repro.cli", "repro.__main__", "repro.testing"],
+        "exempt": ["repro.cli", "repro.__main__"],
         "forbidden": [
             "ArithmeticError",
             "Exception",

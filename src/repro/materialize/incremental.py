@@ -14,7 +14,7 @@ from __future__ import annotations
 from collections.abc import Sequence
 
 from ..core import AggregateGraph, TemporalGraph, aggregate
-from ..core.updates import SnapshotUpdate, append_snapshot
+from ..core.updates import SnapshotUpdate, append_snapshot, split_history
 from ..errors import MaterializationError, UnknownLabelError
 from ..obs.metrics import get_metrics
 from ..obs.trace import trace_span
@@ -61,6 +61,25 @@ class IncrementalStore:
             for point in points[1:]:
                 total = total.combine(point)
             self._totals[attrs] = total
+
+    @classmethod
+    def from_history(
+        cls, graph: TemporalGraph, tracked: Sequence[Sequence[str]]
+    ) -> "IncrementalStore":
+        """A store built by replaying the graph's own history point by
+        point: first time point as the seed, every later point as an
+        :meth:`append`.
+
+        Because appends only aggregate the new point (T-distributivity),
+        the resulting totals must equal those of a store built over the
+        whole graph at once — the replay identity the differential fuzz
+        oracle checks.
+        """
+        initial, updates = split_history(graph)
+        store = cls(initial, tracked)
+        for update in updates:
+            store.append(update)
+        return store
 
     @property
     def graph(self) -> TemporalGraph:

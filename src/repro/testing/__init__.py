@@ -1,0 +1,55 @@
+"""Public test utilities: generators, metamorphic laws, fuzzing.
+
+Downstream code building on GraphTempo needs the same things this
+repository's own suite needs — seedable random temporal graphs, the
+paper's algebraic identities as executable laws, and a differential
+oracle over every engine/store variant.  See ``docs/testing.md`` for the
+full tour and ``repro fuzz --help`` for the CLI.
+
+Only :mod:`repro.testing.strategies` requires ``hypothesis``; everything
+else (including ``repro fuzz``) runs on numpy alone.
+"""
+
+from .asserts import assert_same_aggregate, assert_same_graph
+from .generators import (
+    GraphSpec,
+    graph_from_maps,
+    graph_to_maps,
+    random_temporal_graph,
+    random_time_sets,
+)
+from .laws import Law, get_laws, law_registry, register_law
+from . import oracle as _oracle  # noqa: F401  (registers differential laws)
+from .shrink import reproducer_snippet, shrink_graph, write_reproducer
+from .fuzz import HOSTILE_EVERY, FuzzFailure, FuzzReport, run_fuzz
+
+try:
+    from .strategies import temporal_graphs
+except ImportError:  # pragma: no cover - hypothesis not installed
+    def temporal_graphs(*args: object, **kwargs: object) -> object:
+        raise ImportError(
+            "repro.testing.temporal_graphs requires the 'hypothesis' "
+            "package (a test-time dependency)"
+        )
+
+__all__ = [
+    "assert_same_aggregate",
+    "assert_same_graph",
+    "GraphSpec",
+    "graph_from_maps",
+    "graph_to_maps",
+    "random_temporal_graph",
+    "random_time_sets",
+    "Law",
+    "get_laws",
+    "law_registry",
+    "register_law",
+    "reproducer_snippet",
+    "shrink_graph",
+    "write_reproducer",
+    "FuzzFailure",
+    "FuzzReport",
+    "run_fuzz",
+    "HOSTILE_EVERY",
+    "temporal_graphs",
+]

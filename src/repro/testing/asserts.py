@@ -1,0 +1,43 @@
+"""Assertion helpers shared by the repo's suite and downstream users."""
+
+from __future__ import annotations
+
+from ..core import AggregateGraph, TemporalGraph
+from ..core.operators import presence_signature
+
+__all__ = ["assert_same_aggregate", "assert_same_graph"]
+
+
+def assert_same_aggregate(a: AggregateGraph, b: AggregateGraph) -> None:
+    """Assert two aggregate graphs are identical in every observable way."""
+    assert a.attributes == b.attributes, (a.attributes, b.attributes)
+    assert a.distinct == b.distinct
+    assert dict(a.node_weights) == dict(b.node_weights)
+    assert dict(a.edge_weights) == dict(b.edge_weights)
+
+
+def assert_same_graph(a: TemporalGraph, b: TemporalGraph) -> None:
+    """Assert two temporal graphs are observably equal.
+
+    Compares timelines, presence signatures (row order does not matter)
+    and every attribute value at every active cell — the equivalence the
+    incremental-replay laws rely on.
+    """
+    assert a.timeline.labels == b.timeline.labels, (
+        a.timeline.labels,
+        b.timeline.labels,
+    )
+    assert presence_signature(a) == presence_signature(b)
+    assert a.static_attribute_names == b.static_attribute_names
+    assert a.varying_attribute_names == b.varying_attribute_names
+    for node in a.nodes:
+        for name in a.static_attribute_names:
+            assert a.attribute_value(node, name) == b.attribute_value(node, name), (
+                node,
+                name,
+            )
+        for name in a.varying_attribute_names:
+            for t in a.node_times(node):
+                assert a.attribute_value(node, name, t) == b.attribute_value(
+                    node, name, t
+                ), (node, name, t)

@@ -1,0 +1,197 @@
+"""Differential laws: every engine/store/strategy variant must agree.
+
+The repo deliberately keeps several independently-optimized code paths
+per operation — the literal Algorithm 2 transcription vs the vectorized
+engine, fresh aggregation vs materialized derivation, naive vs
+incremental exploration.  These laws run one random workload through
+*all* variants and diff the results bit-exactly (via the ``diff`` hooks
+on :class:`~repro.core.AggregateGraph` and
+:class:`~repro.exploration.explore.ExplorationResult`).  On hostile
+graphs the engines must also *fail* identically: same taxonomy error
+type from every variant.
+
+Importing this module registers the laws; :mod:`repro.testing`'s
+``__init__`` does so eagerly.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..core import TemporalGraph, aggregate, presence_signature
+from ..core.fast import aggregation_engines
+from ..errors import GraphTempoError
+from ..exploration.events import EntityKind, EventType
+from ..exploration.explore import ExtendSide, Goal, exhaustive_explore, explore
+from ..materialize.incremental import IncrementalStore
+from ..materialize.store import MaterializedStore
+from .generators import random_time_sets
+from .laws import register_law
+
+__all__ = ["DIFFERENTIAL_LAW_NAMES"]
+
+#: Names of the laws this module registers, in registration order.
+DIFFERENTIAL_LAW_NAMES = (
+    "engines-agree",
+    "union-store-agrees",
+    "incremental-replay-agrees",
+    "exploration-variants-agree",
+)
+
+
+def _pick_attributes(
+    rng: np.random.Generator, graph: TemporalGraph, static_only: bool = False
+) -> list[str]:
+    names = [
+        a
+        for a in graph.attribute_names
+        if not static_only or graph.is_static(a)
+    ]
+    if not names:
+        return []
+    order = rng.permutation(len(names))
+    k = int(rng.integers(1, len(names) + 1))
+    return [names[i] for i in order[:k]]
+
+
+@register_law(
+    "engines-agree",
+    "all aggregation engines return identical aggregates — or raise the "
+    "same taxonomy error",
+)
+def _engines_agree(graph: TemporalGraph, rng: np.random.Generator) -> str | None:
+    attrs = _pick_attributes(rng, graph)
+    distinct = bool(rng.integers(2))
+    times = (
+        None
+        if rng.integers(2)
+        else random_time_sets(rng, graph, n=1, hostile=bool(rng.integers(2)))[0]
+    )
+    results = {}
+    errors = {}
+    for name, engine in aggregation_engines().items():
+        try:
+            results[name] = engine(graph, attrs, distinct=distinct, times=times)
+        except GraphTempoError as exc:
+            errors[name] = type(exc).__name__
+    if errors and results:
+        return (
+            f"engines split on {attrs!r}/{times!r}: {sorted(errors)} raised "
+            f"{sorted(set(errors.values()))}, {sorted(results)} returned"
+        )
+    if errors:
+        if len(set(errors.values())) != 1:
+            return f"engines raised different error types: {errors!r}"
+        return None
+    names = sorted(results)
+    baseline = results[names[0]]
+    for other in names[1:]:
+        problems = baseline.diff(results[other])
+        if problems:
+            return (
+                f"{names[0]} vs {other} on {attrs!r}/{times!r}: {problems[0]}"
+            )
+    return None
+
+
+@register_law(
+    "union-store-agrees",
+    "materialized union derivation equals fresh ALL aggregation",
+    hostile_safe=False,
+)
+def _union_store_agrees(
+    graph: TemporalGraph, rng: np.random.Generator
+) -> str | None:
+    attrs = _pick_attributes(rng, graph)
+    window = random_time_sets(rng, graph, n=1)[0]
+    store = MaterializedStore(graph)
+    derived = store.union_aggregate(attrs, window)
+    fresh = aggregate(graph, attrs, distinct=False, times=window)
+    problems = derived.diff(fresh)
+    if problems:
+        return f"store derivation diverges over {window!r}: {problems[0]}"
+    return None
+
+
+@register_law(
+    "incremental-replay-agrees",
+    "replaying the graph's history through IncrementalStore reproduces "
+    "the whole-graph store and the direct aggregate",
+    hostile_safe=False,
+)
+def _incremental_replay_agrees(
+    graph: TemporalGraph, rng: np.random.Generator
+) -> str | None:
+    attrs = tuple(_pick_attributes(rng, graph))
+    replayed = IncrementalStore.from_history(graph, [attrs])
+    if replayed.graph.timeline.labels != graph.timeline.labels:
+        return (
+            f"replayed timeline {replayed.graph.timeline.labels!r} != "
+            f"{graph.timeline.labels!r}"
+        )
+    if presence_signature(replayed.graph) != presence_signature(graph):
+        return "replayed graph's presence diverges from the original"
+    fresh = IncrementalStore(graph, [attrs])
+    problems = replayed.union_total(attrs).diff(fresh.union_total(attrs))
+    if problems:
+        return f"replayed union total diverges: {problems[0]}"
+    direct = aggregate(graph, list(attrs), distinct=False)
+    problems = fresh.union_total(attrs).diff(direct)
+    if problems:
+        return f"store union total diverges from direct aggregate: {problems[0]}"
+    return None
+
+
+@register_law(
+    "exploration-variants-agree",
+    "incremental, naive and exhaustive exploration report the same pairs",
+    hostile_safe=False,
+)
+def _exploration_variants_agree(
+    graph: TemporalGraph, rng: np.random.Generator
+) -> str | None:
+    if len(graph.timeline) < 2:
+        return None
+    event = tuple(EventType)[int(rng.integers(3))]
+    goal = tuple(Goal)[int(rng.integers(2))]
+    extend = tuple(ExtendSide)[int(rng.integers(2))]
+    entity = EntityKind.EDGES if rng.integers(2) else EntityKind.NODES
+    # Monotonicity (which the pruned strategies rely on) holds for
+    # mask-sum counts: static attributes only, with or without a key.
+    attrs = (
+        _pick_attributes(rng, graph, static_only=True)
+        if rng.integers(2)
+        else []
+    )
+    key = None
+    if attrs and rng.integers(2):
+        column = graph.static_attrs.column(attrs[0])
+        value = column[int(rng.integers(len(column)))]
+        node_key = tuple(
+            value if i == 0 else graph.static_attrs.column(a)[0]
+            for i, a in enumerate(attrs)
+        )
+        key = node_key if entity is EntityKind.NODES else (node_key, node_key)
+    k = int(rng.integers(1, 4))
+    baseline = explore(
+        graph, event, goal, extend, k, entity, attrs, key, incremental=True
+    )
+    variants = {
+        "explore-naive": explore(
+            graph, event, goal, extend, k, entity, attrs, key, incremental=False
+        ),
+        "exhaustive-incremental": exhaustive_explore(
+            graph, event, goal, extend, k, entity, attrs, key, incremental=True
+        ),
+        "exhaustive-naive": exhaustive_explore(
+            graph, event, goal, extend, k, entity, attrs, key, incremental=False
+        ),
+    }
+    for name, result in variants.items():
+        problems = baseline.diff(result)
+        if problems:
+            return (
+                f"explore-incremental vs {name} on {event}/{goal}/{extend} "
+                f"k={k} attrs={attrs!r} key={key!r}: {problems[0]}"
+            )
+    return None

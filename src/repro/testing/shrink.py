@@ -1,0 +1,158 @@
+"""Greedy counterexample shrinking and reproducer generation.
+
+When a law fails on a random graph, the raw counterexample is noise: a
+handful of nodes and time points usually suffice to trigger the bug.
+:func:`shrink_graph` is delta-debugging lite — repeatedly drop one edge,
+one node (with its incident edges) or one time column, keep the removal
+whenever the failure still reproduces, and stop at a fixed point.  The
+result is written to disk as a runnable Python snippet built on
+:func:`repro.testing.graph_from_maps`, so a failure found by CI can be
+replayed locally with no fuzzing infrastructure at all.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable, Hashable
+from pathlib import Path
+
+from ..core import TemporalGraph
+from .generators import graph_to_maps
+
+__all__ = ["shrink_graph", "reproducer_snippet", "write_reproducer"]
+
+Predicate = Callable[[TemporalGraph], bool]
+
+
+def _still_fails(predicate: Predicate, graph: TemporalGraph) -> bool:
+    """A candidate reduction counts only if the predicate still holds.
+
+    A reduction that *changes* the failure into a crash (or into a
+    well-formedness error) is rejected: the shrunk graph must fail the
+    same way the original did as far as the predicate can tell.
+    """
+    try:
+        return bool(predicate(graph))
+    except Exception:
+        return False
+
+
+def _restrict(
+    graph: TemporalGraph,
+    nodes: list[Hashable],
+    edges: list[Hashable],
+    times: list[Hashable],
+) -> TemporalGraph | None:
+    try:
+        return graph.restricted(nodes, edges, times, validate=False)
+    except Exception:
+        return None
+
+
+def shrink_graph(
+    graph: TemporalGraph,
+    predicate: Predicate,
+    max_rounds: int = 32,
+) -> TemporalGraph:
+    """The smallest graph (greedy fixed point) still failing ``predicate``.
+
+    ``predicate`` must be deterministic: it is re-evaluated on every
+    candidate reduction, so callers seeding randomness must re-seed per
+    call.  The input graph is assumed to fail; the return value always
+    does.
+    """
+    current = graph
+    for _ in range(max_rounds):
+        nodes = list(current.nodes)
+        edges = list(current.edges)
+        times = list(current.timeline.labels)
+        improved = False
+
+        for edge in list(edges):
+            candidate_edges = [e for e in edges if e != edge]
+            candidate = _restrict(current, nodes, candidate_edges, times)
+            if candidate is not None and _still_fails(predicate, candidate):
+                current, edges, improved = candidate, candidate_edges, True
+
+        for node in list(nodes):
+            candidate_nodes = [n for n in nodes if n != node]
+            candidate_edges = [e for e in edges if node not in e]  # type: ignore[operator]
+            candidate = _restrict(current, candidate_nodes, candidate_edges, times)
+            if candidate is not None and _still_fails(predicate, candidate):
+                current = candidate
+                nodes, edges, improved = candidate_nodes, candidate_edges, True
+
+        if len(times) > 1:
+            for t in list(times):
+                candidate_times = [x for x in times if x != t]
+                if not candidate_times:
+                    continue
+                candidate = _restrict(current, nodes, edges, candidate_times)
+                if candidate is not None and _still_fails(predicate, candidate):
+                    current, times, improved = candidate, candidate_times, True
+
+        if not improved:
+            break
+    return current
+
+
+def reproducer_snippet(
+    graph: TemporalGraph,
+    law_name: str,
+    seed: int,
+    case: int,
+    law_index: int,
+    message: str,
+) -> str:
+    """A standalone Python script re-checking ``law_name`` on ``graph``."""
+    maps = graph_to_maps(graph)
+    lines = [
+        '"""Auto-generated fuzz reproducer.',
+        "",
+        f"Law      : {law_name}",
+        f"Violation: {message}",
+        f"Origin   : repro fuzz --seed {seed} (case {case})",
+        "",
+        'Run with: PYTHONPATH=src python <this file>',
+        '"""',
+        "",
+        "import numpy as np",
+        "",
+        "from repro.testing import graph_from_maps, law_registry",
+        "",
+        "graph = graph_from_maps(",
+        f"    times={maps['times']!r},",
+        f"    node_times={maps['node_times']!r},",
+        f"    edge_times={maps['edge_times']!r},",
+        f"    static={maps['static']!r},",
+        f"    varying={maps['varying']!r},",
+        "    allow_dangling=True,",
+        ")",
+        f"law = law_registry()[{law_name!r}]",
+        f"rng = np.random.default_rng([{seed}, {case}, {law_index}])",
+        "failure = law.check(graph, rng)",
+        "if failure is None:",
+        "    raise SystemExit('law passed: the bug may already be fixed')",
+        "raise SystemExit(f'law violated: {failure}')",
+        "",
+    ]
+    return "\n".join(lines)
+
+
+def write_reproducer(
+    out_dir: str | Path,
+    graph: TemporalGraph,
+    law_name: str,
+    seed: int,
+    case: int,
+    law_index: int,
+    message: str,
+) -> Path:
+    """Write the reproducer snippet to ``out_dir`` and return its path."""
+    directory = Path(out_dir)
+    directory.mkdir(parents=True, exist_ok=True)
+    path = directory / f"repro_{law_name.replace('-', '_')}_s{seed}_c{case}.py"
+    path.write_text(
+        reproducer_snippet(graph, law_name, seed, case, law_index, message),
+        encoding="utf-8",
+    )
+    return path

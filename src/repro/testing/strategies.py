@@ -1,9 +1,9 @@
-"""Public test utilities: hypothesis strategies and assertion helpers.
+"""Hypothesis strategies for temporal attributed graphs.
 
-Downstream code building on GraphTempo needs the same things this
-repository's own test suite needs — random small temporal graphs with
-every presence pattern, and tight aggregate comparisons.  Importing this
-module requires ``hypothesis`` (a test-time dependency).
+Importing this module requires ``hypothesis`` (a test-time dependency);
+the rest of :mod:`repro.testing` — including the ``repro fuzz`` CLI —
+works without it, driven by the plain factories in
+:mod:`repro.testing.generators` instead.
 """
 
 from __future__ import annotations
@@ -13,10 +13,10 @@ import itertools
 import numpy as np
 from hypothesis import strategies as st
 
-from .core import AggregateGraph, TemporalGraph, Timeline
-from .frames import LabeledFrame
+from ..core import TemporalGraph, Timeline
+from ..frames import LabeledFrame
 
-__all__ = ["temporal_graphs", "assert_same_aggregate"]
+__all__ = ["temporal_graphs"]
 
 
 @st.composite
@@ -99,11 +99,3 @@ def temporal_graphs(
     return TemporalGraph(
         Timeline(times), node_presence, edge_presence, static, varying
     )
-
-
-def assert_same_aggregate(a: AggregateGraph, b: AggregateGraph) -> None:
-    """Assert two aggregate graphs are identical in every observable way."""
-    assert a.attributes == b.attributes, (a.attributes, b.attributes)
-    assert a.distinct == b.distinct
-    assert dict(a.node_weights) == dict(b.node_weights)
-    assert dict(a.edge_weights) == dict(b.edge_weights)

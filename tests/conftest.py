@@ -1,7 +1,17 @@
-"""Shared fixtures: the paper's example graph and small synthetic graphs."""
+"""Shared fixtures: the paper's example graph and small synthetic graphs.
+
+All randomness in the suite derives from one ``REPRO_TEST_SEED`` env var
+(default 0, so an unset environment reproduces the committed baseline).
+The effective seed is printed in the pytest header and attached to every
+failing test's report, so a flaky failure is replayable with
+``REPRO_TEST_SEED=<n> pytest <nodeid>``.
+"""
 
 from __future__ import annotations
 
+import os
+
+import numpy as np
 import pytest
 
 from repro.datasets import (
@@ -15,6 +25,35 @@ from repro.datasets import (
 )
 
 
+TEST_SEED = int(os.environ.get("REPRO_TEST_SEED", "0"))
+
+
+def pytest_report_header(config):
+    return f"REPRO_TEST_SEED={TEST_SEED}"
+
+
+@pytest.hookimpl(wrapper=True)
+def pytest_runtest_makereport(item, call):
+    report = yield
+    if report.failed:
+        report.sections.append(
+            ("seed", f"REPRO_TEST_SEED={TEST_SEED} (replay with this env var)")
+        )
+    return report
+
+
+@pytest.fixture(scope="session")
+def test_seed() -> int:
+    """The suite-wide base seed (``REPRO_TEST_SEED``, default 0)."""
+    return TEST_SEED
+
+
+@pytest.fixture()
+def rng(test_seed: int) -> np.random.Generator:
+    """A per-test generator derived from the suite seed."""
+    return np.random.default_rng(test_seed)
+
+
 @pytest.fixture(scope="session")
 def paper_graph():
     """The Figure 1 / Table 2 running example."""
@@ -24,17 +63,19 @@ def paper_graph():
 @pytest.fixture(scope="session")
 def small_dblp():
     """A 2%-scale DBLP-like graph (fast; ~500 nodes, ~3k edges)."""
-    return generate_dblp(scale=0.02)
+    return generate_dblp(scale=0.02, seed=7 + TEST_SEED)
 
 
 @pytest.fixture(scope="session")
 def small_movielens():
     """A 3%-scale MovieLens-like graph."""
-    return generate_movielens(scale=0.03)
+    return generate_movielens(scale=0.03, seed=11 + TEST_SEED)
 
 
-def make_tiny_graph(seed: int = 3, n_times: int = 5):
+def make_tiny_graph(seed: int | None = None, n_times: int = 5):
     """A tiny, fully synthetic evolving graph for structural tests."""
+    if seed is None:
+        seed = 3 + TEST_SEED
     def level(rng, node_ids, t):
         return (node_ids % 3 + 1).astype(object)
 

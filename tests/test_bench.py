@@ -71,8 +71,9 @@ class TestReporting:
         assert "demo" in text and "x1" in text
 
 
+@pytest.mark.slow
 class TestExperimentDrivers:
-    """Each figure driver returns well-formed series on a tiny graph."""
+    """Each figure driver replays a paper experiment on a tiny graph."""
 
     def test_fig5(self, small_movielens):
         series = fig5_timepoint_aggregation(

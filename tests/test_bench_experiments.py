@@ -2,6 +2,8 @@
 
 import pytest
 
+pytestmark = pytest.mark.slow
+
 from repro.bench.experiments import (
     ExperimentSeries,
     _interval_spans,

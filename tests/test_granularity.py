@@ -3,6 +3,7 @@
 import pytest
 
 from repro.core import TimeHierarchy, aggregate, coarsen, union
+from repro.errors import TemporalError
 
 
 @pytest.fixture()
@@ -142,3 +143,50 @@ class TestCoarsenValidation:
         # Union coarsening preserves every entity.
         assert coarse.n_nodes == small_dblp.n_nodes
         assert coarse.n_edges == small_dblp.n_edges
+
+
+class TestCoarsenEdgeCases:
+    def test_regular_over_empty_base_rejected(self):
+        # A rollup over an empty timeline has no units to offer.
+        with pytest.raises(TemporalError):
+            TimeHierarchy.regular([], width=2)
+
+    def test_unit_outside_timeline_dropped(self, paper_graph):
+        # 'future' covers no base point of the graph: its interval is
+        # empty, so the coarse timeline must not contain it.
+        hierarchy = TimeHierarchy(
+            {"early": ["t0", "t1"], "late": ["t2"], "future": ["t9"]}
+        )
+        coarse = coarsen(paper_graph, hierarchy, "union")
+        assert coarse.timeline.labels == ("early", "late")
+
+    def test_intersection_whole_timeline(self, paper_graph):
+        # One unit spanning everything: entities must be present at every
+        # base point, exactly the intersection operator's survivors.
+        hierarchy = TimeHierarchy({"all": ["t0", "t1", "t2"]})
+        coarse = coarsen(paper_graph, hierarchy, "intersection")
+        always = ("t0", "t1", "t2")
+        survivors = {n for n in paper_graph.nodes if paper_graph.node_times(n) == always}
+        assert set(coarse.nodes) == survivors
+        assert set(coarse.edges) == {
+            e for e in paper_graph.edges if paper_graph.edge_times(e) == always
+        }
+
+    def test_intersection_empty_unit_aggregates(self, paper_graph):
+        # Nothing spans all of t1..t2 and t0 alone keeps only its own
+        # entities; aggregation over the rolled-up graph must still work
+        # even when a coarse column is sparse or empty.
+        hierarchy = TimeHierarchy({"a": ["t0"], "b": ["t1", "t2"]})
+        coarse = coarsen(paper_graph, hierarchy, "intersection")
+        agg = aggregate(coarse, ["gender"], distinct=True, times=["b"])
+        for weight in dict(agg.node_weights).values():
+            assert weight >= 0
+
+    def test_union_single_point_units_is_identity(self, paper_graph):
+        hierarchy = TimeHierarchy.regular(
+            paper_graph.timeline.labels, width=1, name="{first}"
+        )
+        coarse = coarsen(paper_graph, hierarchy, "union")
+        assert coarse.timeline.labels == paper_graph.timeline.labels
+        for node in paper_graph.nodes:
+            assert coarse.node_times(node) == paper_graph.node_times(node)

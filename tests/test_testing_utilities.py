@@ -1,11 +1,20 @@
-"""Tests for the public test-utility module itself."""
+"""Tests for the public test-utility package itself."""
 
 import pytest
 from hypothesis import given, settings
 
 from repro.core import aggregate
 from repro.diagnostics import check_graph
-from repro.testing import assert_same_aggregate, temporal_graphs
+from repro.errors import UnknownLabelError, ValidationError
+from repro.testing import (
+    GraphSpec,
+    assert_same_aggregate,
+    assert_same_graph,
+    graph_from_maps,
+    graph_to_maps,
+    random_temporal_graph,
+    temporal_graphs,
+)
 
 
 @settings(max_examples=40, deadline=None)
@@ -48,3 +57,67 @@ class TestAssertSameAggregate:
         b = aggregate(paper_graph, ["gender"], distinct=False)
         with pytest.raises(AssertionError):
             assert_same_aggregate(a, b)
+
+
+class TestGraphFromMapsTaxonomy:
+    """Inconsistent inputs raise typed repro.errors, never bare asserts."""
+
+    def test_minimal_graph_builds(self):
+        graph = graph_from_maps(["t0"], {"a": ["t0"]})
+        assert graph.nodes == ("a",)
+        assert graph.node_times("a") == ("t0",)
+
+    def test_empty_timeline_rejected(self):
+        with pytest.raises(ValidationError):
+            graph_from_maps([], {})
+
+    def test_presence_at_unknown_time_rejected(self):
+        with pytest.raises(UnknownLabelError):
+            graph_from_maps(["t0"], {"a": ["t9"]})
+
+    def test_edge_presence_at_unknown_time_rejected(self):
+        with pytest.raises(UnknownLabelError):
+            graph_from_maps(
+                ["t0"],
+                {"a": ["t0"], "b": ["t0"]},
+                edge_times={("a", "b"): ["t9"]},
+            )
+
+    def test_static_for_unknown_node_rejected(self):
+        with pytest.raises(UnknownLabelError):
+            graph_from_maps(["t0"], {"a": ["t0"]}, static={"zz": {"g": "m"}})
+
+    def test_varying_for_unknown_node_rejected(self):
+        with pytest.raises(UnknownLabelError):
+            graph_from_maps(
+                ["t0"], {"a": ["t0"]}, varying={"zz": {"level": {"t0": 1}}}
+            )
+
+    def test_varying_value_where_node_absent_rejected(self):
+        # The inconsistent presence/attribute frame case.
+        with pytest.raises(ValidationError):
+            graph_from_maps(
+                ["t0", "t1"],
+                {"a": ["t0"]},
+                varying={"a": {"level": {"t1": 2}}},
+            )
+
+    def test_dangling_edge_rejected_by_default(self):
+        with pytest.raises(ValidationError):
+            graph_from_maps(
+                ["t0"], {"a": ["t0"]}, edge_times={("a", "ghost"): ["t0"]}
+            )
+
+    def test_dangling_edge_allowed_when_asked(self):
+        graph = graph_from_maps(
+            ["t0"],
+            {"a": ["t0"]},
+            edge_times={("a", "ghost"): ["t0"]},
+            allow_dangling=True,
+        )
+        assert ("a", "ghost") in graph.edges
+
+    def test_round_trip_with_random_graph(self, test_seed):
+        graph = random_temporal_graph(GraphSpec(), seed=test_seed)
+        rebuilt = graph_from_maps(**graph_to_maps(graph))
+        assert_same_graph(rebuilt, graph)

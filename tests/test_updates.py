@@ -6,9 +6,13 @@ from repro.core import (
     SnapshotUpdate,
     aggregate,
     append_snapshot,
+    snapshot_at,
+    split_history,
     union,
 )
+from repro.errors import UnknownLabelError
 from repro.materialize import IncrementalStore
+from repro.testing import assert_same_graph
 
 
 def make_update(time="t3"):
@@ -99,6 +103,65 @@ class TestAppendSnapshot:
             SnapshotUpdate(time="t4", nodes={"u9": {"publications": 5}}),
         )
         assert extended.node_times("u9") == ("t3", "t4")
+
+    def test_empty_update_extends_timeline_only(self, paper_graph):
+        extended = append_snapshot(
+            paper_graph, SnapshotUpdate(time="t3", nodes={})
+        )
+        assert extended.timeline.labels == ("t0", "t1", "t2", "t3")
+        assert extended.nodes_at("t3") == ()
+        assert extended.edges_at("t3") == ()
+        # Aggregating the empty snapshot rolls up to nothing, not an error.
+        agg = aggregate(extended, ["gender"], distinct=True, times=["t3"])
+        assert dict(agg.node_weights) == {}
+
+
+class TestSnapshotAt:
+    def test_unknown_timepoint_rejected(self, paper_graph):
+        with pytest.raises(UnknownLabelError):
+            snapshot_at(paper_graph, "t9")
+
+    def test_round_trip_through_append(self, paper_graph):
+        # Rebuilding t2 from its own snapshot reproduces the original.
+        update = snapshot_at(paper_graph, "t2")
+        assert update.time == "t2"
+        truncated = paper_graph.restricted(
+            paper_graph.node_presence.rows_any(["t0", "t1"]),
+            paper_graph.edge_presence.rows_any(["t0", "t1"]),
+            ["t0", "t1"],
+        )
+        rebuilt = append_snapshot(truncated, update)
+        assert rebuilt.nodes_at("t2") == paper_graph.nodes_at("t2")
+        assert rebuilt.edges_at("t2") == paper_graph.edges_at("t2")
+
+    def test_snapshot_carries_varying_values(self, paper_graph):
+        update = snapshot_at(paper_graph, "t0")
+        assert update.nodes["u1"]["publications"] == 3
+
+
+class TestSplitHistory:
+    def test_replay_reconstructs_graph(self, paper_graph):
+        initial, updates = split_history(paper_graph)
+        assert initial.timeline.labels == ("t0",)
+        assert [u.time for u in updates] == ["t1", "t2"]
+        rebuilt = initial
+        for update in updates:
+            rebuilt = append_snapshot(rebuilt, update)
+        assert_same_graph(rebuilt, paper_graph)
+
+    def test_replay_reconstructs_synthetic(self, tiny_graph):
+        initial, updates = split_history(tiny_graph)
+        rebuilt = initial
+        for update in updates:
+            rebuilt = append_snapshot(rebuilt, update)
+        assert_same_graph(rebuilt, tiny_graph)
+
+    def test_incremental_store_from_history(self, paper_graph):
+        store = IncrementalStore.from_history(paper_graph, [("gender",)])
+        direct = aggregate(paper_graph, ["gender"], distinct=False)
+        assert dict(store.union_total(["gender"]).node_weights) == dict(
+            direct.node_weights
+        )
 
 
 class TestIncrementalStore:
