@@ -266,6 +266,9 @@ def main(argv=None):
     )
     parser.add_argument("--repeats", type=int, default=None)
     args = parser.parse_args(argv)
+    # A relative --output must mean "relative to where the run started",
+    # even if dataset generation or a harness chdirs before the write.
+    args.output = args.output.expanduser().resolve()
 
     if args.smoke:
         lengths, nodes, edges = [8, 12], 80, 160

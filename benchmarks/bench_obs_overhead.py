@@ -149,6 +149,9 @@ def main(argv=None):
     )
     parser.add_argument("--repeats", type=int, default=None)
     args = parser.parse_args(argv)
+    # A relative --output must mean "relative to where the run started",
+    # even if dataset generation or a harness chdirs before the write.
+    args.output = args.output.expanduser().resolve()
 
     if args.smoke:
         dblp_scale, n_times, nodes, edges = 0.01, 12, 80, 160

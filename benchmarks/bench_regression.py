@@ -1,0 +1,140 @@
+"""Benchmark-regression gate over the committed ``BENCH_*.json`` reports.
+
+Run with ``pytest benchmarks -m bench_smoke``.  Three layers:
+
+* **structure** — every committed report has the sections and row keys
+  its producing script writes, came from a full (non-smoke) run, and
+  its derived numbers (speedups, overheads) recompute from the raw
+  timings;
+* **recorded gates** — the claims each report was committed to support
+  still hold within ``REPRO_BENCH_TOLERANCE`` (see
+  ``benchmarks/conftest.py``): the incremental-evaluator speedups, the
+  observability overhead budget, and — only when the recording machine
+  had enough CPUs — the parallel-executor speedup gate;
+* **live smoke** — the parallel benchmark re-runs end to end at smoke
+  size, which re-asserts serial/parallel parity on this machine before
+  any timing is trusted.
+
+Wall-clock times are never compared across machines; only ratios and
+internal consistency are checked, so the gate is meaningful on any box.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from bench_parallel_speedup import GATE, GATE_MIN_CPUS
+from bench_parallel_speedup import main as parallel_bench_main
+
+pytestmark = pytest.mark.bench_smoke
+
+#: Gate recorded in bench_exploration_scaling.py for 50+-point timelines.
+EXPLORE_GATE = 3.0
+
+
+def _recomputes(ratio: float, numerator: float, denominator: float) -> bool:
+    return denominator > 0 and abs(ratio - numerator / denominator) < 1e-9
+
+
+class TestExploreBaseline:
+    def test_structure(self, explore_baseline):
+        assert not explore_baseline["meta"]["smoke"]
+        for section in ("synthetic_scaling", "varying_fallback", "paper_configs"):
+            assert explore_baseline[section], f"{section} is empty"
+            for row in explore_baseline[section]:
+                assert row["old_best_s"] > 0
+                assert row["new_best_s"] > 0
+                assert _recomputes(
+                    row["speedup"], row["old_best_s"], row["new_best_s"]
+                )
+
+    def test_paper_configs_cover_both_datasets(self, explore_baseline):
+        datasets = {row["dataset"] for row in explore_baseline["paper_configs"]}
+        assert datasets == {"movielens", "dblp"}
+
+    def test_long_timeline_speedup_gate(self, explore_baseline, bench_tolerance):
+        best = max(
+            row["speedup"]
+            for row in explore_baseline["synthetic_scaling"]
+            if row["n_times"] >= 50
+        )
+        assert best >= EXPLORE_GATE * (1 - bench_tolerance)
+
+
+class TestObsBaseline:
+    def test_structure(self, obs_baseline):
+        assert not obs_baseline["meta"]["smoke"]
+        workloads = {row["workload"] for row in obs_baseline["workloads"]}
+        assert workloads == {"fig5_aggregation", "exploration_scaling"}
+        for row in obs_baseline["workloads"]:
+            assert _recomputes(
+                row["disabled_overhead_vs_baseline"] + 1.0,
+                row["disabled_best_s"],
+                row["baseline_s"],
+            )
+            assert row["enabled_spans"] > 0
+
+    def test_overhead_budget(self, obs_baseline, bench_tolerance):
+        budget = obs_baseline["meta"]["budget"]
+        for row in obs_baseline["workloads"]:
+            assert row["disabled_overhead_vs_baseline"] <= budget + bench_tolerance
+
+
+class TestParallelBaseline:
+    def test_structure(self, parallel_baseline):
+        meta = parallel_baseline["meta"]
+        assert not meta["smoke"]
+        assert meta["cpu_count"] >= 1
+        assert meta["gate"] == GATE
+        assert meta["gate_min_cpus"] == GATE_MIN_CPUS
+        seen = {
+            (row["workload"], row["workers"])
+            for row in parallel_baseline["speedups"]
+        }
+        assert seen == {
+            ("explore", 2),
+            ("explore", 4),
+            ("aggregate", 2),
+            ("aggregate", 4),
+        }
+        for row in parallel_baseline["speedups"]:
+            assert _recomputes(
+                row["speedup"], row["serial_best_s"], row["parallel_best_s"]
+            )
+
+    def test_speedup_gate_when_recorded_on_enough_cpus(
+        self, parallel_baseline, bench_tolerance
+    ):
+        # The gate only binds when the recording machine could actually
+        # run 4 workers concurrently; the report keeps the numbers either
+        # way so cross-machine comparisons stay possible.
+        meta = parallel_baseline["meta"]
+        if meta["cpu_count"] < meta["gate_min_cpus"]:
+            pytest.skip(
+                f"baseline recorded on {meta['cpu_count']} CPU(s); "
+                f"gate needs >= {meta['gate_min_cpus']}"
+            )
+        best = max(
+            row["speedup"]
+            for row in parallel_baseline["speedups"]
+            if row["workload"] == "explore" and row["workers"] == 4
+        )
+        assert best >= meta["gate"] * (1 - bench_tolerance)
+
+    def test_inline_guarantee(self, parallel_baseline, bench_tolerance):
+        # parallelism=1 must not have paid pool overhead when recorded.
+        assert parallel_baseline["inline_guarantee"]["overhead"] <= bench_tolerance
+
+
+class TestLiveSmoke:
+    def test_parallel_bench_smoke_run(self, tmp_path):
+        """End-to-end smoke run: parity asserts fire on *this* machine."""
+        output = tmp_path / "BENCH_parallel.json"
+        exit_code = parallel_bench_main(["--smoke", "--output", str(output)])
+        assert exit_code == 0
+        report = json.loads(output.read_text(encoding="utf-8"))
+        assert report["meta"]["smoke"] is True
+        assert len(report["speedups"]) == 4
+        assert report["inline_guarantee"]["serial_best_s"] > 0

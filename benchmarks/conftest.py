@@ -12,7 +12,9 @@ pytest header and on every failure so benchmark flakes are replayable.
 
 from __future__ import annotations
 
+import json
 import os
+from pathlib import Path
 
 import pytest
 
@@ -21,9 +23,31 @@ from repro.datasets import generate_dblp, generate_movielens
 BENCH_SCALE = float(os.environ.get("REPRO_BENCH_SCALE", "0.05"))
 TEST_SEED = int(os.environ.get("REPRO_TEST_SEED", "0"))
 
+#: Relative slack applied when the regression tests re-check the gates
+#: recorded in the committed ``BENCH_*.json`` reports (the reports come
+#: from full runs on a particular machine; exact equality is meaningless
+#: elsewhere).  Override with ``REPRO_BENCH_TOLERANCE``.
+BENCH_TOLERANCE = float(os.environ.get("REPRO_BENCH_TOLERANCE", "0.25"))
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+
+def load_baseline(filename: str) -> dict:
+    """Load a committed ``BENCH_*.json`` report from the repo root."""
+    path = REPO_ROOT / filename
+    if not path.exists():
+        pytest.fail(
+            f"committed baseline {filename} is missing — regenerate it "
+            f"with the matching benchmarks/bench_*.py script"
+        )
+    return json.loads(path.read_text(encoding="utf-8"))
+
 
 def pytest_report_header(config):
-    return f"REPRO_TEST_SEED={TEST_SEED} REPRO_BENCH_SCALE={BENCH_SCALE}"
+    return (
+        f"REPRO_TEST_SEED={TEST_SEED} REPRO_BENCH_SCALE={BENCH_SCALE} "
+        f"REPRO_BENCH_TOLERANCE={BENCH_TOLERANCE}"
+    )
 
 
 @pytest.hookimpl(wrapper=True)
@@ -45,6 +69,27 @@ def test_seed() -> int:
 @pytest.fixture(scope="session")
 def bench_scale() -> float:
     return BENCH_SCALE
+
+
+@pytest.fixture(scope="session")
+def bench_tolerance() -> float:
+    """Relative slack for re-checking recorded benchmark gates."""
+    return BENCH_TOLERANCE
+
+
+@pytest.fixture(scope="session")
+def explore_baseline() -> dict:
+    return load_baseline("BENCH_explore.json")
+
+
+@pytest.fixture(scope="session")
+def obs_baseline() -> dict:
+    return load_baseline("BENCH_obs.json")
+
+
+@pytest.fixture(scope="session")
+def parallel_baseline() -> dict:
+    return load_baseline("BENCH_parallel.json")
 
 
 @pytest.fixture(scope="session")

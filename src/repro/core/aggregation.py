@@ -22,9 +22,12 @@ from collections.abc import Hashable, Iterable, Mapping, Sequence
 from dataclasses import dataclass
 from typing import Any
 
+import numpy as np
+
 from ..frames import Table
 from ..obs.metrics import get_metrics
 from ..obs.trace import trace_span
+from ..parallel import Executor, InlineExecutor, get_executor, plan_chunks
 from .graph import TemporalGraph
 from .intervals import TimeSet
 from .operators import ordered_times
@@ -250,25 +253,31 @@ def _node_tuple_table(
     graph: TemporalGraph,
     attributes: Sequence[str],
     times: TimeSet,
+    rows: Iterable[int] | None = None,
 ) -> Table:
     """The long table of ``(node, t, attribute tuple)`` appearances.
 
     One row per (node, time point) where the node is present, carrying the
     node's attribute tuple at that time — the merged, unpivoted ``A'`` of
-    Algorithm 2 (before any deduplication).
+    Algorithm 2 (before any deduplication).  ``rows`` restricts the scan
+    to a subset of node row indices (the parallel partials' unit of
+    work); ``None`` scans every node.
     """
     static_names, varying_names = _split_attributes(graph, attributes)
     time_positions = [graph.timeline.index_of(t) for t in times]
     static_positions = {
         name: graph.static_attrs.col_position(name) for name in static_names
     }
-    rows: list[tuple[Any, ...]] = []
+    rows_out: list[tuple[Any, ...]] = []
     presence = graph.node_presence.values
     varying_values = {
         name: graph.varying_attrs[name].values for name in varying_names
     }
     static_values = graph.static_attrs.values
-    for row_idx, node in enumerate(graph.node_presence.row_labels):
+    node_labels = graph.node_presence.row_labels
+    row_indices = range(len(node_labels)) if rows is None else rows
+    for row_idx in row_indices:
+        node = node_labels[row_idx]
         static_part = {
             name: static_values[row_idx, pos]
             for name, pos in static_positions.items()
@@ -282,8 +291,8 @@ def _node_tuple_table(
                 else varying_values[name][row_idx, t_pos]
                 for name in attributes
             )
-            rows.append((node, t, values))
-    return Table(("id", "t", "tuple"), rows)
+            rows_out.append((node, t, values))
+    return Table(("id", "t", "tuple"), rows_out)
 
 
 def _aggregate_general(
@@ -382,11 +391,234 @@ def _aggregate_static_fast(
     return AggregateGraph(tuple(attributes), node_weights, edge_weights, distinct=distinct)
 
 
+# ----------------------------------------------------------------------
+# Parallel partials
+#
+# Both engines decompose over *entity rows*: a node's (or edge's)
+# contribution to the weight maps depends only on its own presence row
+# and attribute values, and DIST deduplication is always intra-entity
+# (``["id", "tuple"]`` / ``["edge", "source", "target"]`` both carry the
+# entity label).  Partitioning the row range therefore never splits a
+# dedup group across chunks, and partial weight dicts merge by plain
+# summation for DIST and ALL alike — which is what makes the parallel
+# result bit-identical to the serial one.
+# ----------------------------------------------------------------------
+
+#: ``(graph, attributes, window, distinct, engine)`` — the read-only
+#: payload shared with every partial worker.
+_PartialPayload = tuple[TemporalGraph, tuple[str, ...], TimeSet, bool, str]
+#: ``(kind, start, stop)`` — one slice of node or edge row indices.
+_PartialTask = tuple[str, int, int]
+
+
+def _general_node_partial(
+    graph: TemporalGraph,
+    attributes: Sequence[str],
+    times: TimeSet,
+    distinct: bool,
+    start: int,
+    stop: int,
+) -> dict[AttributeTuple, int]:
+    """Algorithm 2's node pipeline restricted to rows ``[start, stop)``."""
+    metrics = get_metrics()
+    table = _node_tuple_table(graph, attributes, times, rows=range(start, stop))
+    metrics.inc("algo2.unpivot_rows", len(table))
+    if distinct:
+        table = table.deduplicate(["id", "tuple"])
+        metrics.inc("algo2.dedup_rows", len(table))
+    return {
+        key[0]: count for key, count in table.groupby_count(["tuple"]).items()
+    }
+
+
+def _general_edge_partial(
+    graph: TemporalGraph,
+    attributes: Sequence[str],
+    times: TimeSet,
+    distinct: bool,
+    start: int,
+    stop: int,
+) -> dict[EdgeKey, int]:
+    """Algorithm 2's merge/count pipeline restricted to edge rows.
+
+    The ``(node, t) -> tuple`` lookup is rebuilt from just the chunk's
+    endpoint node rows, so a chunk's cost scales with its own edges
+    rather than with the whole graph.
+    """
+    metrics = get_metrics()
+    edge_labels = graph.edge_presence.row_labels
+    endpoint_rows: set[int] = set()
+    for row_idx in range(start, stop):
+        u, v = edge_labels[row_idx]  # type: ignore[misc]
+        endpoint_rows.add(graph.node_presence.row_position(u))
+        endpoint_rows.add(graph.node_presence.row_position(v))
+    node_table = _node_tuple_table(
+        graph, attributes, times, rows=sorted(endpoint_rows)
+    )
+    lookup: dict[tuple[Any, Any], AttributeTuple] = {
+        (node, t): values for node, t, values in node_table.rows
+    }
+    edge_presence = graph.edge_presence.values
+    time_positions = [graph.timeline.index_of(t) for t in times]
+    edge_rows: list[tuple[Any, ...]] = []
+    for row_idx in range(start, stop):
+        edge = edge_labels[row_idx]
+        u, v = edge  # type: ignore[misc]
+        for t, t_pos in zip(times, time_positions):
+            if not edge_presence[row_idx, t_pos]:
+                continue
+            source = lookup.get((u, t))
+            target = lookup.get((v, t))
+            if source is None or target is None:
+                continue  # endpoint absent at t; cannot happen on valid graphs
+            edge_rows.append((edge, source, target))
+    table = Table(("edge", "source", "target"), edge_rows)
+    metrics.inc("algo2.merge_rows", len(table))
+    if distinct:
+        table = table.deduplicate(["edge", "source", "target"])
+        metrics.inc("algo2.dedup_rows", len(table))
+    return {
+        (key[0], key[1]): count
+        for key, count in table.groupby_count(["source", "target"]).items()
+    }
+
+
+def _static_node_partial(
+    graph: TemporalGraph,
+    attributes: Sequence[str],
+    times: TimeSet,
+    distinct: bool,
+    start: int,
+    stop: int,
+) -> dict[AttributeTuple, int]:
+    """The Section 4.2 node fast path restricted to rows ``[start, stop)``."""
+    positions = [graph.static_attrs.col_position(name) for name in attributes]
+    static_values = graph.static_attrs.values
+    time_positions = [graph.node_presence.col_position(t) for t in times]
+    block = graph.node_presence.values[start:stop][:, time_positions]
+    counts = np.count_nonzero(block.astype(bool), axis=1)
+    weights: dict[AttributeTuple, int] = {}
+    for offset in range(stop - start):
+        appearances = int(counts[offset])
+        if appearances == 0:
+            continue
+        row_idx = start + offset
+        key = tuple(static_values[row_idx, p] for p in positions)
+        weights[key] = weights.get(key, 0) + (1 if distinct else appearances)
+    return weights
+
+
+def _static_edge_partial(
+    graph: TemporalGraph,
+    attributes: Sequence[str],
+    times: TimeSet,
+    distinct: bool,
+    start: int,
+    stop: int,
+) -> dict[EdgeKey, int]:
+    """The Section 4.2 edge fast path restricted to rows ``[start, stop)``."""
+    positions = [graph.static_attrs.col_position(name) for name in attributes]
+    static_values = graph.static_attrs.values
+    node_frame = graph.node_presence
+    edge_labels = graph.edge_presence.row_labels
+    time_positions = [graph.edge_presence.col_position(t) for t in times]
+    block = graph.edge_presence.values[start:stop][:, time_positions]
+    counts = np.count_nonzero(block.astype(bool), axis=1)
+    tuple_cache: dict[Hashable, AttributeTuple] = {}
+
+    def node_tuple(node: Hashable) -> AttributeTuple:
+        cached = tuple_cache.get(node)
+        if cached is None:
+            row = node_frame.row_position(node)
+            cached = tuple_cache[node] = tuple(
+                static_values[row, p] for p in positions
+            )
+        return cached
+
+    weights: dict[EdgeKey, int] = {}
+    for offset in range(stop - start):
+        appearances = int(counts[offset])
+        if appearances == 0:
+            continue
+        u, v = edge_labels[start + offset]  # type: ignore[misc]
+        key = (node_tuple(u), node_tuple(v))
+        weights[key] = weights.get(key, 0) + (1 if distinct else appearances)
+    return weights
+
+
+def _partial_weights(
+    payload: _PartialPayload, task: _PartialTask
+) -> dict[Any, int]:
+    """Chunk worker: the weights contributed by one slice of entity rows.
+
+    Module-level (and closed over nothing) so the process pool can pickle
+    it; :class:`~repro.parallel.InlineExecutor` runs the very same
+    function, which is what the parity suite leans on.
+    """
+    graph, attributes, times, distinct, engine = payload
+    kind, start, stop = task
+    if engine == "general":
+        if kind == "node":
+            return _general_node_partial(
+                graph, attributes, times, distinct, start, stop
+            )
+        return _general_edge_partial(
+            graph, attributes, times, distinct, start, stop
+        )
+    if kind == "node":
+        return _static_node_partial(graph, attributes, times, distinct, start, stop)
+    return _static_edge_partial(graph, attributes, times, distinct, start, stop)
+
+
+def _aggregate_parallel(
+    graph: TemporalGraph,
+    attributes: Sequence[str],
+    times: TimeSet,
+    distinct: bool,
+    engine: str,
+    executor: Executor,
+) -> AggregateGraph:
+    """Fan the partial worker out over entity-row slices and merge.
+
+    Structural validation happens parent-side before dispatch so a
+    dangling edge raises the same :class:`AggregationError` whether or
+    not a pool is in play.
+    """
+    check_no_dangling_edges(graph)
+    n_nodes = len(graph.node_presence.row_labels)
+    n_edges = len(graph.edge_presence.row_labels)
+    tasks: list[_PartialTask] = [
+        ("node", chunk.start, chunk.stop)
+        for chunk in plan_chunks(n_nodes, executor.workers)
+    ]
+    tasks += [
+        ("edge", chunk.start, chunk.stop)
+        for chunk in plan_chunks(n_edges, executor.workers)
+    ]
+    payload: _PartialPayload = (graph, tuple(attributes), times, distinct, engine)
+    partials = executor.map(_partial_weights, tasks, payload)
+    node_weights: dict[AttributeTuple, int] = {}
+    edge_weights: dict[EdgeKey, int] = {}
+    for (kind, _, _), partial in zip(tasks, partials):
+        target: dict[Any, int] = node_weights if kind == "node" else edge_weights
+        for key, weight in partial.items():
+            target[key] = target.get(key, 0) + weight
+    if engine == "general":
+        get_metrics().inc(
+            "algo2.group_count_groups", len(node_weights) + len(edge_weights)
+        )
+    return AggregateGraph(
+        tuple(attributes), node_weights, edge_weights, distinct=distinct
+    )
+
+
 def aggregate(
     graph: TemporalGraph,
     attributes: Sequence[str],
     distinct: bool = True,
     times: Iterable[Hashable] | None = None,
+    *,
+    parallelism: int | str | None = None,
 ) -> AggregateGraph:
     """Aggregate a temporal graph on the given attributes (Definition 2.6).
 
@@ -402,6 +634,11 @@ def aggregate(
     times:
         Time points to aggregate over; defaults to the graph's whole
         timeline (which, for operator outputs, is the operator's interval).
+    parallelism:
+        ``None`` (ambient default — see :mod:`repro.parallel`), a worker
+        count, or ``"auto"``.  Implicit defaults only engage the pool
+        when the graph is large enough to amortize startup; the result
+        is bit-identical either way.
 
     Returns
     -------
@@ -413,13 +650,24 @@ def aggregate(
     metrics = get_metrics()
     metrics.inc("aggregate.calls")
     engine = "general" if varying else "static_fast"
+    n_entities = len(graph.node_presence.row_labels) + len(
+        graph.edge_presence.row_labels
+    )
+    executor = get_executor(
+        parallelism, task_hint=n_entities * max(1, len(window))
+    )
     with trace_span(
         "aggregate",
         engine=engine,
         distinct=distinct,
         attributes=tuple(attributes),
         n_times=len(window),
+        workers=executor.workers,
     ):
+        if not isinstance(executor, InlineExecutor):
+            return _aggregate_parallel(
+                graph, attributes, window, distinct, engine, executor
+            )
         if varying:
             return _aggregate_general(graph, attributes, window, distinct)
         return _aggregate_static_fast(graph, attributes, window, distinct)

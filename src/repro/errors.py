@@ -20,7 +20,13 @@ The taxonomy mirrors the paper's structure:
 * :class:`DatasetError` — loaders and generators for the paper's
   datasets (Table 3) received broken inputs;
 * :class:`MaterializationError` / :class:`ConfigurationError` — the
-  materialization store and user-facing configuration surfaces.
+  materialization store and user-facing configuration surfaces;
+* :class:`ParallelError` (with :class:`WorkerCrashError` /
+  :class:`WorkerTimeoutError`) — the :mod:`repro.parallel` execution
+  layer could not complete a fan-out.  Domain failures raised *inside* a
+  worker re-raise as their original taxonomy type; only infrastructure
+  failures (crashed worker, timeout, unpicklable task) surface as
+  ``ParallelError``.
 
 The labeled-array substrate keeps its own hierarchy in
 :mod:`repro.frames.errors`; its root :class:`~repro.frames.errors.FrameError`
@@ -45,6 +51,9 @@ __all__ = [
     "DatasetError",
     "MaterializationError",
     "ConfigurationError",
+    "ParallelError",
+    "WorkerCrashError",
+    "WorkerTimeoutError",
     # Labeled-array substrate errors, re-exported from repro.frames.errors.
     "FrameError",
     "LabelError",
@@ -110,6 +119,30 @@ class MaterializationError(ValidationError):
 
 class ConfigurationError(ValidationError):
     """A configuration surface (session, CLI, lint) was misconfigured."""
+
+
+class ParallelError(GraphTempoError, RuntimeError):
+    """The parallel execution layer failed to complete a fan-out.
+
+    Carries the failing task spec (when one is known) as :attr:`task`,
+    so a crash or timeout names the unit of work that triggered it.
+    Inherits :class:`RuntimeError`: the inputs were fine, the
+    infrastructure was not.
+    """
+
+    def __init__(self, message: str, *, task: object = None) -> None:
+        super().__init__(message)
+        #: The task spec that was running (or pending) when the fan-out
+        #: failed, ``None`` when no single task can be blamed.
+        self.task = task
+
+
+class WorkerCrashError(ParallelError):
+    """A worker process died without reporting a result."""
+
+
+class WorkerTimeoutError(ParallelError):
+    """A parallel fan-out exceeded its deadline."""
 
 
 # ---------------------------------------------------------------------------

@@ -533,12 +533,18 @@ class ChainEvaluator:
                     reference_mask,
                 )
 
-    def consecutive(self) -> Iterator[ChainStep]:
-        """All consecutive point pairs ``(T_i, T_{i+1})`` — threshold
+    def consecutive(
+        self, start: int = 0, stop: int | None = None
+    ) -> Iterator[ChainStep]:
+        """Consecutive point pairs ``(T_i, T_{i+1})`` — threshold
         initialization (Section 3.5) and the degenerate minimal cases.
-        Each presence column is sliced once and shared by its two pairs."""
+        Each presence column is sliced once and shared by its two pairs.
+        ``start``/``stop`` bound the reference indices ``i`` (defaults:
+        every pair), letting the parallel explorer hand each chunk a
+        slice of the references."""
         presence = self._presence()
-        for i in range(presence.shape[1] - 1):
+        last = presence.shape[1] - 1 if stop is None else stop
+        for i in range(start, last):
             yield self._step(
                 Side.point(i),
                 Side.point(i + 1),
@@ -546,17 +552,29 @@ class ChainEvaluator:
                 presence[:, i + 1],
             )
 
-    def longest(self, extend: ExtendSide) -> Iterator[ChainStep]:
+    def longest(
+        self, extend: ExtendSide, start: int = 0, stop: int | None = None
+    ) -> Iterator[ChainStep]:
         """Per reference point, the longest intersection-semantics
         extension — the degenerate maximal cases of Table 1.  The
         prefix/suffix ANDs are accumulated incrementally, one column per
-        reference, instead of re-reducing each full-length window."""
+        reference, instead of re-reducing each full-length window.
+
+        ``start``/``stop`` bound the reference indices.  A ranged call
+        seeds the prefix (and trims the suffix precomputation) with the
+        same left-to-right / right-to-left column order as the full
+        walk, so every step's mask is bit-identical to the serial one.
+        """
         presence = self._presence()
         n_times = presence.shape[1]
+        last = n_times - 1 if stop is None else stop
         if extend is ExtendSide.OLD:
             accumulated = presence[:, 0] if n_times else None
-            for i in range(n_times - 1):
-                if i > 0 and accumulated is not None:
+            if accumulated is not None:
+                for column in range(1, start + 1):
+                    accumulated = accumulated & presence[:, column]
+            for i in range(start, last):
+                if i > start and accumulated is not None:
                     accumulated = accumulated & presence[:, i]
                 yield self._step(
                     Side(Interval(0, i), Semantics.INTERSECTION),
@@ -569,10 +587,10 @@ class ChainEvaluator:
             if self.incremental and n_times > 1:
                 running = presence[:, n_times - 1]
                 suffix[n_times - 1] = running
-                for column in range(n_times - 2, 0, -1):
+                for column in range(n_times - 2, start, -1):
                     running = presence[:, column] & running
                     suffix[column] = running
-            for i in range(n_times - 1):
+            for i in range(start, last):
                 yield self._step(
                     Side.point(i),
                     Side(Interval(i + 1, n_times - 1), Semantics.INTERSECTION),

@@ -43,6 +43,7 @@ from dataclasses import dataclass
 from typing import Any
 
 from ..core import TemporalGraph
+from ..parallel import InlineExecutor, get_executor, plan_chunks
 from .events import ChainEvaluator, ChainStep, EntityKind, EventCounter, EventType
 from .lattice import ExtendSide, Semantics, Side
 from ..errors import ExplorationError
@@ -157,26 +158,35 @@ def _record_pruning(
         get_metrics().inc("exploration.pruned_steps", skipped)
 
 
-def u_explore(
-    counter: EventCounter,
-    event: EventType,
-    extend: ExtendSide,
-    k: int,
-    *,
-    incremental: bool = True,
-) -> ExplorationResult:
-    """Union Exploration (Section 3.2): minimal pairs with >= k events.
+# ----------------------------------------------------------------------
+# Ranged chunk workers
+#
+# Each Table-1 strategy iterates independent reference points, so its
+# loop body runs unchanged over any slice ``[start, stop)`` of the
+# reference range.  The serial path executes the same worker over the
+# full range ``(0, references)`` — parallel and serial results are the
+# same function applied to a partition vs. the whole, concatenated in
+# chunk order, hence bit-identical.  Workers return
+# ``(pairs, evaluations)``; pruning/chain metrics accumulate in the
+# worker registry and are merged back by the pool.
+# ----------------------------------------------------------------------
 
-    The extended side walks its union semi-lattice; counts are
-    monotonically increasing along the chain, so the first pair reaching
-    ``k`` is the minimal one for its reference point and the rest of the
-    chain is pruned.
-    """
+#: ``(counter, event, extend, k, incremental)`` — shared with every chunk.
+_StrategyPayload = tuple[EventCounter, EventType, ExtendSide, int, bool]
+#: One slice ``(start, stop)`` of chain reference indices.
+_ReferenceRange = tuple[int, int]
+_ChunkResult = tuple[list[IntervalPairResult], int]
+
+
+def _u_chunk(payload: _StrategyPayload, task: _ReferenceRange) -> _ChunkResult:
+    """U-Explore over one slice of reference points."""
+    counter, event, extend, k, incremental = payload
+    start, stop = task
     evaluator = ChainEvaluator(counter, event, incremental=incremental)
     n_times = len(counter.graph.timeline)
     pairs: list[IntervalPairResult] = []
     evaluations = 0
-    for reference in range(n_times - 1):
+    for reference in range(start, stop):
         taken = 0
         for step in evaluator.chain(reference, extend, Semantics.UNION):
             taken += 1
@@ -185,32 +195,18 @@ def u_explore(
                 pairs.append(_pair(step))
                 break
         _record_pruning(n_times, reference, extend, taken)
-    return ExplorationResult(
-        event, Goal.MINIMAL, extend, k, tuple(pairs), evaluations
-    )
+    return pairs, evaluations
 
 
-def i_explore(
-    counter: EventCounter,
-    event: EventType,
-    extend: ExtendSide,
-    k: int,
-    *,
-    incremental: bool = True,
-) -> ExplorationResult:
-    """Intersection Exploration (Section 3.2): maximal pairs with >= k.
-
-    The extended side walks its intersection semi-lattice; counts are
-    monotonically decreasing, so each extension that still passes
-    replaces its predecessor in the candidate set, and the chain stops at
-    the first failure.  References whose shortest pair already fails are
-    pruned entirely (step 2 of the paper's algorithm).
-    """
+def _i_chunk(payload: _StrategyPayload, task: _ReferenceRange) -> _ChunkResult:
+    """I-Explore over one slice of reference points."""
+    counter, event, extend, k, incremental = payload
+    start, stop = task
     evaluator = ChainEvaluator(counter, event, incremental=incremental)
     n_times = len(counter.graph.timeline)
     pairs: list[IntervalPairResult] = []
     evaluations = 0
-    for reference in range(n_times - 1):
+    for reference in range(start, stop):
         candidate: IntervalPairResult | None = None
         taken = 0
         for step in evaluator.chain(reference, extend, Semantics.INTERSECTION):
@@ -223,9 +219,123 @@ def i_explore(
         _record_pruning(n_times, reference, extend, taken)
         if candidate is not None:
             pairs.append(candidate)
-    return ExplorationResult(
-        event, Goal.MAXIMAL, extend, k, tuple(pairs), evaluations
+    return pairs, evaluations
+
+
+def _consecutive_chunk(
+    payload: _StrategyPayload, task: _ReferenceRange
+) -> _ChunkResult:
+    """Consecutive-pairs strategy over one slice of reference points."""
+    counter, event, _extend, k, incremental = payload
+    start, stop = task
+    evaluator = ChainEvaluator(counter, event, incremental=incremental)
+    pairs: list[IntervalPairResult] = []
+    evaluations = 0
+    for step in evaluator.consecutive(start, stop):
+        evaluations += 1
+        if step.count >= k:
+            pairs.append(_pair(step))
+    return pairs, evaluations
+
+
+def _longest_chunk(
+    payload: _StrategyPayload, task: _ReferenceRange
+) -> _ChunkResult:
+    """Longest-extension strategy over one slice of reference points."""
+    counter, event, extend, k, incremental = payload
+    start, stop = task
+    evaluator = ChainEvaluator(counter, event, incremental=incremental)
+    pairs: list[IntervalPairResult] = []
+    evaluations = 0
+    for step in evaluator.longest(extend, start, stop):
+        evaluations += 1
+        if step.count >= k:
+            pairs.append(_pair(step))
+    return pairs, evaluations
+
+
+def _run_strategy(
+    chunk_fn: Any,
+    payload: Any,
+    counter: EventCounter,
+    parallelism: int | str | None,
+) -> tuple[tuple[IntervalPairResult, ...], int]:
+    """Run a ranged chunk worker over every reference point.
+
+    Serial executors get one call over the full range; pools get the
+    range partitioned by the chunk planner and the slices' results
+    concatenated in chunk order.
+    """
+    n_times = len(counter.graph.timeline)
+    references = max(0, n_times - 1)
+    n_rows = (
+        counter.graph.n_nodes
+        if counter.entity is EntityKind.NODES
+        else counter.graph.n_edges
     )
+    executor = get_executor(
+        parallelism, task_hint=references * n_times * max(1, n_rows)
+    )
+    if isinstance(executor, InlineExecutor):
+        pairs, evaluations = chunk_fn(payload, (0, references))
+        return tuple(pairs), evaluations
+    tasks = [
+        (chunk.start, chunk.stop)
+        for chunk in plan_chunks(references, executor.workers)
+    ]
+    results = executor.map(chunk_fn, tasks, payload)
+    pairs = []
+    evaluations = 0
+    for chunk_pairs, chunk_evaluations in results:
+        pairs.extend(chunk_pairs)
+        evaluations += chunk_evaluations
+    return tuple(pairs), evaluations
+
+
+def u_explore(
+    counter: EventCounter,
+    event: EventType,
+    extend: ExtendSide,
+    k: int,
+    *,
+    incremental: bool = True,
+    parallelism: int | str | None = None,
+) -> ExplorationResult:
+    """Union Exploration (Section 3.2): minimal pairs with >= k events.
+
+    The extended side walks its union semi-lattice; counts are
+    monotonically increasing along the chain, so the first pair reaching
+    ``k`` is the minimal one for its reference point and the rest of the
+    chain is pruned.  Reference points are independent, so a pool
+    distributes them without touching the per-chain pruning.
+    """
+    pairs, evaluations = _run_strategy(
+        _u_chunk, (counter, event, extend, k, incremental), counter, parallelism
+    )
+    return ExplorationResult(event, Goal.MINIMAL, extend, k, pairs, evaluations)
+
+
+def i_explore(
+    counter: EventCounter,
+    event: EventType,
+    extend: ExtendSide,
+    k: int,
+    *,
+    incremental: bool = True,
+    parallelism: int | str | None = None,
+) -> ExplorationResult:
+    """Intersection Exploration (Section 3.2): maximal pairs with >= k.
+
+    The extended side walks its intersection semi-lattice; counts are
+    monotonically decreasing, so each extension that still passes
+    replaces its predecessor in the candidate set, and the chain stops at
+    the first failure.  References whose shortest pair already fails are
+    pruned entirely (step 2 of the paper's algorithm).
+    """
+    pairs, evaluations = _run_strategy(
+        _i_chunk, (counter, event, extend, k, incremental), counter, parallelism
+    )
+    return ExplorationResult(event, Goal.MAXIMAL, extend, k, pairs, evaluations)
 
 
 def _consecutive_only(
@@ -235,20 +345,18 @@ def _consecutive_only(
     k: int,
     *,
     incremental: bool = True,
+    parallelism: int | str | None = None,
 ) -> ExplorationResult:
     """Degenerate minimal case: the operator is monotonically decreasing
     under the requested extension, so only consecutive point pairs can be
     minimal (Sections 3.3/3.4)."""
-    evaluator = ChainEvaluator(counter, event, incremental=incremental)
-    pairs: list[IntervalPairResult] = []
-    evaluations = 0
-    for step in evaluator.consecutive():
-        evaluations += 1
-        if step.count >= k:
-            pairs.append(_pair(step))
-    return ExplorationResult(
-        event, Goal.MINIMAL, extend, k, tuple(pairs), evaluations
+    pairs, evaluations = _run_strategy(
+        _consecutive_chunk,
+        (counter, event, extend, k, incremental),
+        counter,
+        parallelism,
     )
+    return ExplorationResult(event, Goal.MINIMAL, extend, k, pairs, evaluations)
 
 
 def _longest_only(
@@ -258,20 +366,18 @@ def _longest_only(
     k: int,
     *,
     incremental: bool = True,
+    parallelism: int | str | None = None,
 ) -> ExplorationResult:
     """Degenerate maximal case: the operator is monotonically increasing
     under the requested extension, so for each reference the longest
     extension is the only candidate maximal pair."""
-    evaluator = ChainEvaluator(counter, event, incremental=incremental)
-    pairs: list[IntervalPairResult] = []
-    evaluations = 0
-    for step in evaluator.longest(extend):
-        evaluations += 1
-        if step.count >= k:
-            pairs.append(_pair(step))
-    return ExplorationResult(
-        event, Goal.MAXIMAL, extend, k, tuple(pairs), evaluations
+    pairs, evaluations = _run_strategy(
+        _longest_chunk,
+        (counter, event, extend, k, incremental),
+        counter,
+        parallelism,
     )
+    return ExplorationResult(event, Goal.MAXIMAL, extend, k, pairs, evaluations)
 
 
 def explore(
@@ -285,6 +391,7 @@ def explore(
     key: Any = None,
     *,
     incremental: bool = True,
+    parallelism: int | str | None = None,
 ) -> ExplorationResult:
     """Run one of the eight Table-1 exploration cases.
 
@@ -304,6 +411,11 @@ def explore(
     incremental:
         Evaluate chains incrementally (the default) or naively per pair;
         the results are identical, only the cost differs.
+    parallelism:
+        ``None`` (ambient default — see :mod:`repro.parallel`), a worker
+        count, or ``"auto"``.  Chains are distributed over reference
+        points; the per-chain U-/I-Explore pruning is untouched and the
+        result is bit-identical to a serial run.
     """
     if k < 1:
         raise ExplorationError(f"threshold k must be positive, got {k}")
@@ -312,34 +424,61 @@ def explore(
         "explore", event=str(event), goal=str(goal), extend=str(extend), k=k
     ):
         counter = EventCounter(graph, entity=entity, attributes=attributes, key=key)
+        kwargs: dict[str, Any] = {
+            "incremental": incremental,
+            "parallelism": parallelism,
+        }
         if event is EventType.STABILITY:
             if goal is Goal.MINIMAL:
-                return u_explore(counter, event, extend, k, incremental=incremental)
-            return i_explore(counter, event, extend, k, incremental=incremental)
+                return u_explore(counter, event, extend, k, **kwargs)
+            return i_explore(counter, event, extend, k, **kwargs)
         if event is EventType.GROWTH:
             if goal is Goal.MINIMAL:
                 if extend is ExtendSide.NEW:
-                    return u_explore(
-                        counter, event, extend, k, incremental=incremental
-                    )
-                return _consecutive_only(
-                    counter, event, extend, k, incremental=incremental
-                )
+                    return u_explore(counter, event, extend, k, **kwargs)
+                return _consecutive_only(counter, event, extend, k, **kwargs)
             if extend is ExtendSide.OLD:
-                return _longest_only(
-                    counter, event, extend, k, incremental=incremental
-                )
-            return i_explore(counter, event, extend, k, incremental=incremental)
+                return _longest_only(counter, event, extend, k, **kwargs)
+            return i_explore(counter, event, extend, k, **kwargs)
         # Shrinkage mirrors growth with the sides swapped.
         if goal is Goal.MINIMAL:
             if extend is ExtendSide.OLD:
-                return u_explore(counter, event, extend, k, incremental=incremental)
-            return _consecutive_only(
-                counter, event, extend, k, incremental=incremental
-            )
+                return u_explore(counter, event, extend, k, **kwargs)
+            return _consecutive_only(counter, event, extend, k, **kwargs)
         if extend is ExtendSide.NEW:
-            return _longest_only(counter, event, extend, k, incremental=incremental)
-        return i_explore(counter, event, extend, k, incremental=incremental)
+            return _longest_only(counter, event, extend, k, **kwargs)
+        return i_explore(counter, event, extend, k, **kwargs)
+
+
+def _exhaustive_chunk(
+    payload: tuple[EventCounter, EventType, Goal, ExtendSide, int, bool],
+    task: _ReferenceRange,
+) -> _ChunkResult:
+    """The oracle explorer's unpruned walk over one reference slice."""
+    counter, event, goal, extend, k, incremental = payload
+    start, stop = task
+    evaluator = ChainEvaluator(counter, event, incremental=incremental)
+    semantics = Semantics.UNION if goal is Goal.MINIMAL else Semantics.INTERSECTION
+    pairs: list[IntervalPairResult] = []
+    evaluations = 0
+    for reference in range(start, stop):
+        passing: list[IntervalPairResult] = []
+        for step in evaluator.chain(reference, extend, semantics):
+            evaluations += 1
+            if step.count >= k:
+                passing.append(_pair(step))
+        if not passing:
+            continue
+        if goal is Goal.MINIMAL:
+            # Definition 3.4: the shortest passing extension — no proper
+            # sub-extension passes.  Chains yield in increasing length,
+            # so that is the first passing pair.
+            pairs.append(passing[0])
+        else:
+            # Definition 3.5: the longest passing extension — no proper
+            # super-extension passes.  That is the last passing pair.
+            pairs.append(passing[-1])
+    return pairs, evaluations
 
 
 def exhaustive_explore(
@@ -353,6 +492,7 @@ def exhaustive_explore(
     key: Any = None,
     *,
     incremental: bool = True,
+    parallelism: int | str | None = None,
 ) -> ExplorationResult:
     """Oracle explorer: evaluates *every* pair in the case's candidate
     space and selects minimal/maximal pairs by definition.
@@ -373,26 +513,10 @@ def exhaustive_explore(
         k=k,
     ):
         counter = EventCounter(graph, entity=entity, attributes=attributes, key=key)
-        evaluator = ChainEvaluator(counter, event, incremental=incremental)
-        semantics = Semantics.UNION if goal is Goal.MINIMAL else Semantics.INTERSECTION
-        n_times = len(graph.timeline)
-        pairs: list[IntervalPairResult] = []
-        evaluations = 0
-        for reference in range(n_times - 1):
-            passing: list[IntervalPairResult] = []
-            for step in evaluator.chain(reference, extend, semantics):
-                evaluations += 1
-                if step.count >= k:
-                    passing.append(_pair(step))
-            if not passing:
-                continue
-            if goal is Goal.MINIMAL:
-                # Definition 3.4: the shortest passing extension — no proper
-                # sub-extension passes.  Chains yield in increasing length,
-                # so that is the first passing pair.
-                pairs.append(passing[0])
-            else:
-                # Definition 3.5: the longest passing extension — no proper
-                # super-extension passes.  That is the last passing pair.
-                pairs.append(passing[-1])
-        return ExplorationResult(event, goal, extend, k, tuple(pairs), evaluations)
+        pairs, evaluations = _run_strategy(
+            _exhaustive_chunk,
+            (counter, event, goal, extend, k, incremental),
+            counter,
+            parallelism,
+        )
+        return ExplorationResult(event, goal, extend, k, pairs, evaluations)

@@ -16,6 +16,7 @@ overhead budget (see ``benchmarks/bench_obs_overhead.py``).
 
 from __future__ import annotations
 
+from collections.abc import Mapping
 from typing import Any
 
 __all__ = [
@@ -65,6 +66,26 @@ class TimingHistogram:
     @property
     def mean(self) -> float:
         return self.total / self.count if self.count else 0.0
+
+    def dump(self) -> dict[str, Any]:
+        """The raw internal state (for cross-process merging)."""
+        return {
+            "count": self.count,
+            "total": self.total,
+            "min": self.min,
+            "max": self.max,
+            "buckets": list(self._buckets),
+        }
+
+    def merge(self, dump: Mapping[str, Any]) -> None:
+        """Fold another histogram's :meth:`dump` into this one."""
+        self.count += dump["count"]
+        self.total += dump["total"]
+        if dump["count"]:
+            self.min = min(self.min, dump["min"])
+            self.max = max(self.max, dump["max"])
+        for i, n in enumerate(dump["buckets"]):
+            self._buckets[i] += n
 
     def snapshot(self) -> dict[str, Any]:
         """A JSON-serializable summary of the samples seen so far."""
@@ -144,6 +165,40 @@ class MetricsRegistry:
                 for name, histogram in sorted(self._timings.items())
             },
         }
+
+    def dump(self) -> dict[str, Any]:
+        """The registry's raw state, for :meth:`merge` across processes.
+
+        Unlike :meth:`snapshot` (a presentation format), the dump keeps
+        histograms as raw bucket arrays so merging is exact.
+        """
+        return {
+            "counters": dict(self._counters),
+            "gauges": dict(self._gauges),
+            "timings": {
+                name: histogram.dump()
+                for name, histogram in self._timings.items()
+            },
+        }
+
+    def merge(self, dump: Mapping[str, Any]) -> None:
+        """Fold another registry's :meth:`dump` into this one.
+
+        Counters and histogram samples add; gauges are last-write-wins
+        (the merged dump's value overwrites).  This is how
+        :class:`~repro.parallel.ParallelExecutor` re-homes each worker
+        chunk's metric delta, so a parallel run's totals equal the
+        serial run's.
+        """
+        for name, value in dump["counters"].items():
+            self.inc(name, value)
+        for name, value in dump["gauges"].items():
+            self.gauge(name, value)
+        for name, timing_dump in dump["timings"].items():
+            histogram = self._timings.get(name)
+            if histogram is None:
+                histogram = self._timings[name] = TimingHistogram()
+            histogram.merge(timing_dump)
 
     def reset(self) -> None:
         """Drop every metric (tests and per-run profiling)."""

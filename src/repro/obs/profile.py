@@ -19,6 +19,7 @@ from dataclasses import dataclass
 from typing import Any
 
 from ..errors import ConfigurationError
+from ..parallel import parallelism_scope
 from .export import observability_snapshot
 from .metrics import MetricsRegistry, set_metrics
 from .trace import Span, Tracer, set_tracer
@@ -41,6 +42,7 @@ class ProfileReport:
     trace: Span | None
     metrics: dict[str, Any]
     summary: dict[str, Any]
+    workers: int | None = None
 
     def to_dict(self) -> dict[str, Any]:
         """The JSON artifact shape benchmarks and CI attach."""
@@ -48,6 +50,7 @@ class ProfileReport:
             "dataset": self.dataset,
             "workload": self.workload,
             "scale": self.scale,
+            "workers": self.workers,
             "summary": dict(self.summary),
         }
         payload.update(
@@ -109,13 +112,19 @@ def _run_workload(workload: str, graph: Any, tracer: Tracer) -> dict[str, Any]:
 
 
 def run_profile(
-    dataset: str, workload: str, scale: float = 0.05
+    dataset: str,
+    workload: str,
+    scale: float = 0.05,
+    workers: int | str | None = None,
 ) -> ProfileReport:
     """Profile one workload over one dataset.
 
     Installs a fresh enabled tracer and a fresh metrics registry for the
     duration of the run (restoring the previous ones afterwards), so the
-    returned report covers exactly this workload.
+    returned report covers exactly this workload.  ``workers`` runs the
+    workload inside a :func:`repro.parallel.parallelism_scope`, so the
+    trace shows the pool's re-parented chunk spans (``repro profile
+    --workers N``); results are identical at any worker count.
     """
     if workload not in WORKLOADS:
         raise ConfigurationError(
@@ -127,7 +136,8 @@ def run_profile(
     previous_tracer = set_tracer(tracer)
     previous_metrics = set_metrics(registry)
     try:
-        summary = _run_workload(workload, graph, tracer)
+        with parallelism_scope(workers) as resolved_workers:
+            summary = _run_workload(workload, graph, tracer)
     finally:
         set_tracer(previous_tracer)
         set_metrics(previous_metrics)
@@ -139,4 +149,5 @@ def run_profile(
         trace=tracer.last_root,
         metrics=snapshot["metrics"],
         summary=summary,
+        workers=resolved_workers,
     )

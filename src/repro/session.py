@@ -42,6 +42,7 @@ from .exploration import (
 from .obs.metrics import get_metrics
 from .obs.trace import Span, get_tracer, trace_span
 from .olap import TemporalGraphCube
+from .parallel import parallelism_scope, resolve_parallelism
 from .errors import UnknownLabelError, ValidationError
 
 __all__ = ["GraphTempoSession"]
@@ -60,6 +61,12 @@ class GraphTempoSession:
     hierarchy:
         Optional time hierarchy; its unit labels become usable wherever
         a window is expected, and :meth:`zoom_out` uses it.
+    parallelism:
+        Session-wide default worker count (``None`` inherits the ambient
+        default, an ``int`` or ``"auto"`` pins it) — every aggregation
+        and exploration the session runs resolves inside a
+        :func:`repro.parallel.parallelism_scope` carrying this value.
+        Results are identical at any setting (see ``docs/parallelism.md``).
 
     Examples
     --------
@@ -74,10 +81,19 @@ class GraphTempoSession:
         self,
         graph: TemporalGraph,
         hierarchy: TimeHierarchy | None = None,
+        parallelism: int | str | None = None,
     ) -> None:
         self.graph = graph
         self.hierarchy = hierarchy
         self.cube = TemporalGraphCube(graph, hierarchy=hierarchy)
+        #: Resolved session-wide worker count (``None`` = ambient).
+        self.parallelism: int | None = (
+            None if parallelism is None else resolve_parallelism(parallelism)
+        )
+
+    def _parallel_scope(self) -> Any:
+        """The scope every session operation resolves parallelism in."""
+        return parallelism_scope(self.parallelism)
 
     # ------------------------------------------------------------------
     # Observability
@@ -172,7 +188,7 @@ class GraphTempoSession:
             "session.aggregate",
             attributes=tuple(attributes),
             distinct=distinct,
-        ):
+        ), self._parallel_scope():
             return self.cube.cuboid(
                 attributes, times=self.window(window), distinct=distinct
             )
@@ -200,7 +216,9 @@ class GraphTempoSession:
         attributes: Sequence[str],
     ) -> EvolutionAggregate:
         """Aggregated evolution between two windows (Definition 2.7)."""
-        with trace_span("session.evolution", attributes=tuple(attributes)):
+        with trace_span(
+            "session.evolution", attributes=tuple(attributes)
+        ), self._parallel_scope():
             return aggregate_evolution(
                 self.graph, self.window(old), self.window(new), attributes
             )
@@ -230,7 +248,7 @@ class GraphTempoSession:
             event=str(event),
             goal=str(goal),
             extend=str(extend),
-        ):
+        ), self._parallel_scope():
             if k is None:
                 k = suggest_threshold(
                     self.graph, event, mode="max",
@@ -259,7 +277,7 @@ class GraphTempoSession:
             "session.explore_groups",
             event=str(event),
             attributes=tuple(attributes),
-        ):
+        ), self._parallel_scope():
             return explore_groups(
                 self.graph, event, goal, extend, k, attributes, entity=entity
             )
@@ -272,7 +290,10 @@ class GraphTempoSession:
         """A new session over the hierarchy-coarsened graph."""
         if self.hierarchy is None:
             raise ValidationError("zoom_out requires a session hierarchy")
-        return GraphTempoSession(coarsen(self.graph, self.hierarchy, semantics))
+        return GraphTempoSession(
+            coarsen(self.graph, self.hierarchy, semantics),
+            parallelism=self.parallelism,
+        )
 
     def query(self, text: str) -> Any:
         """Run a query-language statement against the session graph.

@@ -117,6 +117,10 @@ def run_fuzz(
     """
     if cases < 1:
         raise ConfigurationError(f"cases must be positive, got {cases}")
+    if out_dir is not None:
+        # Pin a cwd-relative --out to the directory named at launch:
+        # reproducers must not scatter if something chdirs mid-run.
+        out_dir = Path(out_dir).expanduser().resolve()
     selected = get_laws(laws)
     if not selected:
         raise ConfigurationError("no laws selected")

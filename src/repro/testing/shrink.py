@@ -147,8 +147,14 @@ def write_reproducer(
     law_index: int,
     message: str,
 ) -> Path:
-    """Write the reproducer snippet to ``out_dir`` and return its path."""
-    directory = Path(out_dir)
+    """Write the reproducer snippet to ``out_dir`` and return its path.
+
+    The directory resolves to an absolute path up front: fuzz runs (and
+    the bench replays built on them) may chdir or hand the path to
+    subprocesses, and a cwd-relative ``--out`` must keep pointing at the
+    directory the caller named, not wherever the process happens to be.
+    """
+    directory = Path(out_dir).expanduser().resolve()
     directory.mkdir(parents=True, exist_ok=True)
     path = directory / f"repro_{law_name.replace('-', '_')}_s{seed}_c{case}.py"
     path.write_text(

@@ -112,6 +112,30 @@ class TestInjectedBug:
         with pytest.raises(SystemExit, match="law violated"):
             exec(compile(source, str(reproducer), "exec"), {})
 
+    def test_relative_out_dir_is_pinned_to_launch_cwd(
+        self, test_seed, monkeypatch, tmp_path
+    ):
+        # A cwd-relative out_dir must resolve where the run started, and
+        # the reported reproducer paths must come back absolute so they
+        # stay valid even if something chdirs afterwards.
+        monkeypatch.setitem(
+            fast._ENGINES, "fast", _corrupting(fast._ENGINES["fast"])
+        )
+        monkeypatch.chdir(tmp_path)
+        report = run_fuzz(
+            seed=test_seed,
+            cases=12,
+            laws=["engines-agree"],
+            out_dir="repros",
+            shrink=False,
+        )
+        assert not report.ok
+        reproducer = report.failures[0].reproducer
+        assert reproducer is not None
+        assert reproducer.is_absolute()
+        assert reproducer.is_relative_to(tmp_path / "repros")
+        assert reproducer.exists()
+
     def test_reproducer_passes_once_bug_is_fixed(
         self, test_seed, monkeypatch, tmp_path
     ):

@@ -1,9 +1,10 @@
 """Run mypy under the committed configuration, when mypy is installed.
 
 The strict sections of ``[tool.mypy]`` in ``pyproject.toml`` cover
-``repro.frames``, ``repro.core`` and ``repro.exploration``; CI installs
-the ``typecheck`` extra so this gate always runs there.  Locally the
-test skips if mypy is absent (the library itself depends only on numpy).
+``repro.frames``, ``repro.core``, ``repro.exploration``, ``repro.obs``
+and ``repro.parallel``; CI installs the ``typecheck`` extra so this
+gate always runs there.  Locally the test skips if mypy is absent (the
+library itself depends only on numpy).
 """
 
 from __future__ import annotations
