@@ -19,6 +19,7 @@ The qualitative experiments (Figures 12-14)::
 from __future__ import annotations
 
 import argparse
+import sys
 from collections.abc import Sequence
 
 from pathlib import Path
@@ -323,6 +324,12 @@ def _run_check(args: argparse.Namespace) -> None:
     print(format_findings(check_graph(graph)))
 
 
+def _run_lint(args: argparse.Namespace) -> int:
+    from .lint.cli import main as lint_main
+
+    return lint_main(args.lint_args)
+
+
 def _run_profile(args: argparse.Namespace) -> None:
     from .obs import render_metrics, render_span_tree, to_json
     from .obs.profile import run_profile
@@ -474,6 +481,15 @@ def build_parser() -> argparse.ArgumentParser:
     check.add_argument("--scale", type=float, default=0.05)
     check.set_defaults(func=_run_check)
 
+    lint = sub.add_parser(
+        "lint",
+        help="run the GraphTempo invariant linter (GT001-GT012)",
+        add_help=False,
+    )
+    lint.add_argument("lint_args", nargs=argparse.REMAINDER,
+                      help="arguments forwarded to python -m repro.lint")
+    lint.set_defaults(func=_run_lint)
+
     timeseries = sub.add_parser(
         "timeseries", help="event time series with shift/anomaly detection"
     )
@@ -487,7 +503,14 @@ def build_parser() -> argparse.ArgumentParser:
 
 def main(argv: Sequence[str] | None = None) -> int:
     """Entry point for ``python -m repro``."""
+    arglist = list(sys.argv[1:] if argv is None else argv)
+    if arglist and arglist[0] == "lint":
+        # Forwarded verbatim: argparse.REMAINDER mis-parses leading
+        # option flags (--select, --format) against the outer parser.
+        from .lint.cli import main as lint_main
+
+        return lint_main(arglist[1:])
     parser = build_parser()
-    args = parser.parse_args(argv)
-    args.func(args)
-    return 0
+    args = parser.parse_args(arglist)
+    code = args.func(args)
+    return code if isinstance(code, int) else 0

@@ -3,18 +3,24 @@
 Exit status: 0 when clean, 1 when violations were found, 2 on
 configuration or usage errors — the same contract as flake8/ruff, so CI
 can treat any non-zero status as a failure.
+
+``--format json`` emits a machine-readable result document (CI
+artifacts); ``--report PATH`` additionally writes the purity registry
+(schema ``repro-lint-purity/1``) produced by the whole-program analyzer
+— the soundness contract the result cache will be built on.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 from collections.abc import Sequence
 from pathlib import Path
 
 from ..errors import ConfigurationError
-from .config import load_config, selected_rules
-from .engine import all_rules, lint_paths
+from .config import LintConfig, load_config, selected_rules
+from .engine import Violation, all_rules, lint_paths, load_modules
 from .rules import rule_catalog
 
 __all__ = ["main"]
@@ -23,7 +29,7 @@ __all__ = ["main"]
 def _build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="python -m repro.lint",
-        description="GraphTempo invariant linter (rules GT001-GT006).",
+        description="GraphTempo invariant linter (rules GT001-GT012).",
     )
     parser.add_argument(
         "paths",
@@ -45,6 +51,24 @@ def _build_parser() -> argparse.ArgumentParser:
         help="comma-separated rule ids to run (e.g. GT001,GT003)",
     )
     parser.add_argument(
+        "--ignore",
+        metavar="RULES",
+        default=None,
+        help="comma-separated rule ids to skip (applied after --select)",
+    )
+    parser.add_argument(
+        "--format",
+        choices=["text", "json"],
+        default="text",
+        help="output format (default: text)",
+    )
+    parser.add_argument(
+        "--report",
+        metavar="PATH",
+        default=None,
+        help="write the whole-program purity registry (JSON) to PATH",
+    )
+    parser.add_argument(
         "--list-rules",
         action="store_true",
         help="print the rule catalog and exit",
@@ -58,6 +82,70 @@ def _build_parser() -> argparse.ArgumentParser:
     return parser
 
 
+def _split_rule_ids(raw: str, flag: str) -> list[str]:
+    wanted = [part.strip() for part in raw.split(",") if part.strip()]
+    unknown = sorted(set(wanted) - set(all_rules()))
+    if unknown:
+        raise ConfigurationError(f"unknown rule ids in {flag}: {unknown}")
+    return wanted
+
+
+def _narrow_selection(
+    config: LintConfig, select: str | None, ignore: str | None
+) -> LintConfig:
+    if select:
+        config = selected_rules(config, _split_rule_ids(select, "--select"))
+    if ignore:
+        dropped = set(_split_rule_ids(ignore, "--ignore"))
+        # Built directly: selected_rules treats an empty list as "keep
+        # everything", but ignoring every selected rule must yield none.
+        config = LintConfig(
+            select=tuple(
+                rule_id
+                for rule_id in config.select
+                if rule_id not in dropped
+            ),
+            exclude=config.exclude,
+            rules=config.rules,
+        )
+    return config
+
+
+def _write_purity_report(
+    paths: Sequence[Path], config: LintConfig, destination: Path
+) -> None:
+    from .callgraph import build_program
+    from .purity import analyze_purity, report_dict
+
+    modules, _ = load_modules(paths, config)
+    program = build_program(modules)
+    report = analyze_purity(program)
+    destination.write_text(
+        json.dumps(report_dict(program, report), indent=2, sort_keys=True)
+        + "\n",
+        encoding="utf-8",
+    )
+
+
+def _emit_json(config: LintConfig, violations: Sequence[Violation]) -> None:
+    document = {
+        "schema": "repro-lint/1",
+        "rules": list(config.select),
+        "violations": [
+            {
+                "rule": violation.rule,
+                "path": violation.path,
+                "line": violation.line,
+                "col": violation.col,
+                "message": violation.message,
+            }
+            for violation in violations
+        ],
+        "summary": {"violations": len(violations)},
+    }
+    print(json.dumps(document, indent=2, sort_keys=True))
+
+
 def main(argv: Sequence[str] | None = None) -> int:
     args = _build_parser().parse_args(argv)
     if args.list_rules:
@@ -65,19 +153,21 @@ def main(argv: Sequence[str] | None = None) -> int:
             print(f"{rule_id}  {summary}")
         return 0
     try:
-        config = load_config(args.config)
-        if args.select:
-            wanted = [part.strip() for part in args.select.split(",") if part.strip()]
-            unknown = sorted(set(wanted) - set(all_rules()))
-            if unknown:
-                raise ConfigurationError(f"unknown rule ids: {unknown}")
-            config = selected_rules(config, wanted)
-        violations = lint_paths([Path(p) for p in args.paths], config)
+        config = _narrow_selection(
+            load_config(args.config), args.select, args.ignore
+        )
+        paths = [Path(p) for p in args.paths]
+        violations = lint_paths(paths, config)
+        if args.report:
+            _write_purity_report(paths, config, Path(args.report))
     except ConfigurationError as exc:
         print(f"repro.lint: error: {exc}", file=sys.stderr)
         return 2
-    for violation in violations:
-        print(violation.render())
+    if args.format == "json":
+        _emit_json(config, violations)
+    else:
+        for violation in violations:
+            print(violation.render())
     if not args.quiet:
         noun = "violation" if len(violations) == 1 else "violations"
         print(

@@ -36,7 +36,10 @@ __all__ = ["DEFAULTS", "LintConfig", "RuleSettings", "load_config"]
 #: The repository's own conventions, used when pyproject.toml has no
 #: ``[tool.repro-lint]`` table (or only a partial one).
 DEFAULTS: dict[str, Any] = {
-    "select": ["GT001", "GT002", "GT003", "GT004", "GT005", "GT006"],
+    "select": [
+        "GT001", "GT002", "GT003", "GT004", "GT005", "GT006",
+        "GT007", "GT008", "GT009", "GT010", "GT011", "GT012",
+    ],
     "exclude": [],
     "GT001": {
         "modules": [
@@ -111,6 +114,61 @@ DEFAULTS: dict[str, Any] = {
     "GT006": {
         "modules": ["repro.*"],
         "exempt": ["repro.cli", "repro.__main__", "repro.lint.cli"],
+    },
+    "GT007": {
+        "modules": ["repro.*"],
+        "exempt": [],
+        "submit_attrs": ["map", "submit"],
+        "receiver_hints": ["executor", "pool"],
+        "factory_calls": ["get_executor", "ParallelExecutor", "InlineExecutor"],
+        "max_indirection": 3,
+    },
+    "GT008": {
+        "modules": ["repro.*"],
+        "exempt": [],
+        "submit_attrs": ["map", "submit"],
+        "receiver_hints": ["executor", "pool"],
+        "factory_calls": ["get_executor", "ParallelExecutor", "InlineExecutor"],
+        "max_indirection": 3,
+    },
+    "GT009": {
+        "modules": ["repro.*"],
+        "exempt": [],
+        # Import-time decorator registries and the GT010-governed
+        # singleton holders; fnmatch over "module.name".
+        "sanctioned": [
+            "*._REGISTRY",
+            "repro.obs.trace._tracer",
+            "repro.obs.metrics._registry",
+        ],
+    },
+    "GT010": {
+        "modules": ["repro.*"],
+        "exempt": [],
+        "singletons": [
+            "repro.obs.trace._tracer",
+            "repro.obs.metrics._registry",
+        ],
+        "setters": [
+            "repro.obs.trace.set_tracer",
+            "repro.obs.metrics.set_metrics",
+        ],
+    },
+    "GT011": {
+        "modules": [
+            "repro.core.operators",
+            "repro.core.aggregation",
+            "repro.core.evolution",
+        ],
+        "exempt": [],
+        # Sanctioned instrumentation and fan-out machinery: effects are
+        # parity-tested and invisible to operator results.
+        "allowed_impure": ["repro.obs.*", "repro.parallel.*"],
+    },
+    "GT012": {
+        "modules": ["repro.*"],
+        "exempt": ["repro.obs.*"],
+        "accessors": ["get_tracer", "get_metrics"],
     },
 }
 

@@ -25,15 +25,22 @@ from dataclasses import dataclass, field
 from fnmatch import fnmatchcase
 from pathlib import Path
 
+from typing import TYPE_CHECKING
+
 from ..errors import ConfigurationError
 from .config import LintConfig, RuleSettings
 
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from .callgraph import Program
+
 __all__ = [
     "Module",
+    "ProgramRule",
     "Rule",
     "Violation",
     "all_rules",
     "lint_paths",
+    "load_modules",
     "register",
 ]
 
@@ -109,6 +116,26 @@ class Rule:
         )
 
 
+class ProgramRule(Rule):
+    """A rule that needs the whole-program view (GT007-GT012).
+
+    Before per-module dispatch the engine builds one
+    :class:`~repro.lint.callgraph.Program` over every successfully
+    parsed module and hands it to each selected program rule via
+    :meth:`bind`; :meth:`check` then runs per module as usual, with
+    cross-module questions answered through ``self.program``.
+    """
+
+    requires_program = True
+
+    def __init__(self, settings: RuleSettings) -> None:
+        super().__init__(settings)
+        self.program: "Program | None" = None
+
+    def bind(self, program: "Program") -> None:
+        self.program = program
+
+
 _REGISTRY: dict[str, type[Rule]] = {}
 
 
@@ -125,6 +152,7 @@ def register(rule_cls: type[Rule]) -> type[Rule]:
 def all_rules() -> dict[str, type[Rule]]:
     """All registered rules, keyed by id."""
     from . import rules as _rules  # noqa: F401  (registration side effect)
+    from . import rules_concurrency as _rules2  # noqa: F401
 
     return dict(_REGISTRY)
 
@@ -240,29 +268,22 @@ def discover_files(paths: Sequence[Path], exclude: Sequence[str]) -> list[Path]:
     return found
 
 
-def lint_paths(
+def load_modules(
     paths: Sequence[Path | str],
     config: LintConfig,
     root: Path | str | None = None,
-) -> list[Violation]:
-    """Lint every python file under ``paths`` and return the violations.
+) -> tuple[list[Module], list[Violation]]:
+    """Load every python file under ``paths``.
 
-    ``root`` anchors relative output paths and dotted-module-name
-    derivation; it defaults to the current working directory.
+    Returns the successfully parsed modules plus GT000 violations for
+    the files that failed to parse.
     """
     root_path = Path(root) if root is not None else Path.cwd()
-    rules = all_rules()
-    unknown = [rule_id for rule_id in config.select if rule_id not in rules]
-    if unknown:
-        raise ConfigurationError(f"unknown rule ids selected: {unknown}")
-    active = [
-        rules[rule_id](config.rule_settings(rule_id))
-        for rule_id in config.select
-    ]
+    modules: list[Module] = []
     violations: list[Violation] = []
     for path in discover_files([Path(p) for p in paths], config.exclude):
         try:
-            module = load_module(path, root_path)
+            modules.append(load_module(path, root_path))
         except SyntaxError as exc:
             violations.append(
                 Violation(
@@ -273,7 +294,43 @@ def lint_paths(
                     message=f"syntax error: {exc.msg}",
                 )
             )
-            continue
+    return modules, violations
+
+
+def lint_paths(
+    paths: Sequence[Path | str],
+    config: LintConfig,
+    root: Path | str | None = None,
+) -> list[Violation]:
+    """Lint every python file under ``paths`` and return the violations.
+
+    ``root`` anchors relative output paths and dotted-module-name
+    derivation; it defaults to the current working directory.  When any
+    selected rule is a :class:`ProgramRule`, the whole-program view
+    (symbol table, call graph) is built once over every parsed module
+    and bound to those rules before dispatch.
+    """
+    rules = all_rules()
+    unknown = [rule_id for rule_id in config.select if rule_id not in rules]
+    if unknown:
+        raise ConfigurationError(f"unknown rule ids selected: {unknown}")
+    active = [
+        rules[rule_id](config.rule_settings(rule_id))
+        for rule_id in config.select
+    ]
+    modules, violations = load_modules(paths, config, root)
+    program_rules = [
+        rule
+        for rule in active
+        if getattr(rule, "requires_program", False)
+    ]
+    if program_rules:
+        from .callgraph import build_program
+
+        program = build_program(modules)
+        for rule in program_rules:
+            rule.bind(program)  # type: ignore[attr-defined]
+    for module in modules:
         for rule in active:
             settings = rule.settings
             if settings.modules and not matches_module(

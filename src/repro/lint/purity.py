@@ -1,0 +1,458 @@
+"""Transitive purity / side-effect inference over the call graph.
+
+A function is **impure** when it has a *direct effect* or transitively
+calls an impure function; it is **pure** otherwise.  Direct effects are
+the statically visible ones:
+
+* rebinding a module global (``global X`` + assignment);
+* mutating a module global (attribute/subscript write, ``del``, or a
+  known mutating method call on a module-level name) — unless the global
+  is a ``threading.local`` holder, which is thread-confined by definition;
+* mutating a parameter (attribute/subscript write, ``del``, augmented
+  assignment, or a mutating method call whose receiver is a parameter —
+  including ``self``, so state-changing methods classify impure);
+* calling a known-impure builtin (``print``, ``open``, ``input``,
+  ``exec``, ``eval``, ``setattr``, ``delattr``, ...);
+* calling into a known-impure module (``os``, ``sys``, ``random``,
+  ``time``, ``logging``, ``subprocess``, ...) — environment reads count:
+  they make results depend on process state.
+
+Unresolved (dynamic) calls do **not** flip a function to impure; they are
+counted per function (``unresolved_calls``) so consumers of the purity
+registry — e.g. a result cache deciding what is safe to memoize — can
+require both ``classification == "pure"`` and ``unresolved_calls == 0``
+for a *sound* purity guarantee, or accept inferred purity where a weaker
+contract suffices.  Nested functions are treated as called by their
+definer (defining without calling is rare and the conservative direction
+is the safe one).
+
+The registry serializes to the ``repro-lint-purity/1`` JSON schema via
+:func:`report_dict`; ``python -m repro.lint --report purity.json`` writes
+it as a CI artifact (see ``docs/static_analysis.md``).
+"""
+
+from __future__ import annotations
+
+import ast
+from collections.abc import Callable, Iterator
+from dataclasses import dataclass, field
+
+from .callgraph import FunctionInfo, Program, dotted
+
+__all__ = [
+    "DEFAULT_IMPURE_BUILTINS",
+    "DEFAULT_IMPURE_MODULES",
+    "DEFAULT_MUTATOR_METHODS",
+    "FunctionPurity",
+    "PurityAnalyzer",
+    "PurityReport",
+    "analyze_purity",
+    "report_dict",
+]
+
+#: Builtins whose call is itself a side effect (I/O, namespace mutation).
+DEFAULT_IMPURE_BUILTINS: frozenset[str] = frozenset(
+    {
+        "print",
+        "open",
+        "input",
+        "exec",
+        "eval",
+        "compile",
+        "breakpoint",
+        "setattr",
+        "delattr",
+        "__import__",
+        "exit",
+        "quit",
+    }
+)
+
+#: Top-level modules whose functions read or write process/system state.
+DEFAULT_IMPURE_MODULES: frozenset[str] = frozenset(
+    {
+        "os",
+        "sys",
+        "io",
+        "random",
+        "secrets",
+        "time",
+        "datetime",
+        "logging",
+        "socket",
+        "subprocess",
+        "shutil",
+        "tempfile",
+        "multiprocessing",
+        "threading",
+        "signal",
+        "atexit",
+        "warnings",
+    }
+)
+
+#: Method names that mutate their receiver in place.
+DEFAULT_MUTATOR_METHODS: frozenset[str] = frozenset(
+    {
+        "append",
+        "add",
+        "clear",
+        "extend",
+        "insert",
+        "pop",
+        "popitem",
+        "remove",
+        "discard",
+        "update",
+        "setdefault",
+        "sort",
+        "reverse",
+        "fill",
+        "put",
+        "resize",
+        "itemset",
+        "write",
+        "writelines",
+    }
+)
+
+
+@dataclass
+class FunctionPurity:
+    """The inferred purity of one function."""
+
+    qualname: str
+    module: str
+    line: int
+    classification: str  # "pure" | "impure"
+    #: Human-readable reasons; direct effects first, then impure callees.
+    reasons: tuple[str, ...]
+    #: Direct effects only (subset of reasons).
+    direct_effects: tuple[str, ...]
+    #: Resolved callee qualnames, sorted and deduplicated.
+    callees: tuple[str, ...]
+    unresolved_calls: int
+    public: bool
+
+    @property
+    def is_pure(self) -> bool:
+        return self.classification == "pure"
+
+
+@dataclass
+class PurityReport:
+    """The purity registry: qualname -> :class:`FunctionPurity`."""
+
+    functions: dict[str, FunctionPurity] = field(default_factory=dict)
+
+    def classification(self, qualname: str) -> str | None:
+        entry = self.functions.get(qualname)
+        return entry.classification if entry else None
+
+    def is_impure(self, qualname: str) -> bool:
+        entry = self.functions.get(qualname)
+        return entry is not None and not entry.is_pure
+
+    def pure_functions(self) -> tuple[str, ...]:
+        return tuple(
+            sorted(q for q, e in self.functions.items() if e.is_pure)
+        )
+
+
+def _is_public(qualname: str) -> bool:
+    return not any(
+        part.startswith("_") and part != "__init__"
+        for part in qualname.split(".")
+    )
+
+
+class PurityAnalyzer:
+    """Run the direct-effect scan and the transitive fixpoint."""
+
+    def __init__(
+        self,
+        program: Program,
+        *,
+        impure_builtins: frozenset[str] = DEFAULT_IMPURE_BUILTINS,
+        impure_modules: frozenset[str] = DEFAULT_IMPURE_MODULES,
+        mutator_methods: frozenset[str] = DEFAULT_MUTATOR_METHODS,
+    ) -> None:
+        self.program = program
+        self.impure_builtins = impure_builtins
+        self.impure_modules = impure_modules
+        self.mutator_methods = mutator_methods
+
+    # ------------------------------------------------------------------
+    # Direct effects
+    # ------------------------------------------------------------------
+
+    def direct_effects(self, info: FunctionInfo) -> list[str]:
+        """Statically visible side effects of one function body."""
+        effects: list[str] = []
+        params = set(info.param_names())
+        declared_global = self._global_names(info)
+        locals_bound = self._local_bindings(info)
+        module_globals = set(
+            self.program.symbols[info.module.name].globals
+        ) | set(self.program.symbols[info.module.name].functions)
+        thread_local = {
+            name
+            for name, var in self.program.symbols[
+                info.module.name
+            ].globals.items()
+            if var.thread_local
+        }
+
+        def classify_base(name: str) -> str | None:
+            """Which effect bucket a write through ``name`` lands in."""
+            if name in params:
+                return f"mutates parameter {name!r}"
+            if name in declared_global:
+                return f"mutates module global {name!r}"
+            if name in locals_bound:
+                return None
+            if name in thread_local:
+                return None  # thread-confined by construction
+            if name in module_globals:
+                return f"mutates module global {name!r}"
+            return None
+
+        for node in self._body(info):
+            if isinstance(node, (ast.Assign, ast.AnnAssign, ast.AugAssign)):
+                targets = (
+                    node.targets
+                    if isinstance(node, ast.Assign)
+                    else [node.target]
+                )
+                for target in targets:
+                    if isinstance(target, ast.Name):
+                        if target.id in declared_global:
+                            effects.append(
+                                f"rebinds module global {target.id!r}"
+                            )
+                    elif isinstance(target, (ast.Attribute, ast.Subscript)):
+                        base = _base_name(target)
+                        if base is not None:
+                            effect = classify_base(base)
+                            if effect is not None:
+                                effects.append(effect)
+            elif isinstance(node, ast.Delete):
+                for target in node.targets:
+                    if isinstance(target, (ast.Attribute, ast.Subscript)):
+                        base = _base_name(target)
+                        if base is not None:
+                            effect = classify_base(base)
+                            if effect is not None:
+                                effects.append(effect)
+                    elif (
+                        isinstance(target, ast.Name)
+                        and target.id in declared_global
+                    ):
+                        effects.append(
+                            f"rebinds module global {target.id!r}"
+                        )
+            elif isinstance(node, ast.Call):
+                effects.extend(
+                    self._call_effects(info, node, classify_base)
+                )
+        # Stable order, preserve first occurrence.
+        seen: set[str] = set()
+        unique: list[str] = []
+        for effect in effects:
+            if effect not in seen:
+                seen.add(effect)
+                unique.append(effect)
+        return unique
+
+    def _call_effects(
+        self,
+        info: FunctionInfo,
+        node: ast.Call,
+        classify_base: Callable[[str], str | None],
+    ) -> Iterator[str]:
+        path = dotted(node.func)
+        if path is None:
+            return
+        # Mutating method call on a parameter or module global.
+        if isinstance(node.func, ast.Attribute):
+            method = node.func.attr
+            if method in self.mutator_methods:
+                base = _base_name(node.func)
+                if base is not None:
+                    effect = classify_base(base)
+                    if effect is not None:
+                        yield f"{effect} via .{method}()"
+        resolved = self.program.resolve_dotted(info.module.name, path)
+        target = resolved if resolved is not None else path
+        top = target.split(".")[0]
+        leaf = target.split(".")[-1]
+        if target not in self.program.functions:
+            if "." not in path and leaf in self.impure_builtins:
+                yield f"calls impure builtin {leaf!r}"
+            elif top in self.impure_modules:
+                yield f"calls into impure module {target!r}"
+
+    # ------------------------------------------------------------------
+    # Fixpoint
+    # ------------------------------------------------------------------
+
+    def analyze(self) -> PurityReport:
+        program = self.program
+        direct: dict[str, list[str]] = {
+            qualname: self.direct_effects(info)
+            for qualname, info in program.functions.items()
+        }
+        edges: dict[str, set[str]] = {}
+        unresolved: dict[str, int] = {}
+        for qualname, info in program.functions.items():
+            callees: set[str] = set(info.nested)
+            n_unresolved = 0
+            for site in info.calls:
+                if site.callee is None:
+                    n_unresolved += 1
+                elif site.callee in program.functions:
+                    callees.add(site.callee)
+            edges[qualname] = callees
+            unresolved[qualname] = n_unresolved
+
+        impure: set[str] = {q for q, effects in direct.items() if effects}
+        changed = True
+        while changed:
+            changed = False
+            for qualname, callees in edges.items():
+                if qualname in impure:
+                    continue
+                if callees & impure:
+                    impure.add(qualname)
+                    changed = True
+
+        report = PurityReport()
+        for qualname, info in program.functions.items():
+            effects = tuple(direct[qualname])
+            reasons = list(effects)
+            for callee in sorted(edges[qualname] & impure):
+                reasons.append(f"calls impure {callee!r}")
+            report.functions[qualname] = FunctionPurity(
+                qualname=qualname,
+                module=info.module.name,
+                line=info.line,
+                classification="impure" if qualname in impure else "pure",
+                reasons=tuple(reasons),
+                direct_effects=effects,
+                callees=tuple(sorted(edges[qualname])),
+                unresolved_calls=unresolved[qualname],
+                public=_is_public(qualname),
+            )
+        return report
+
+    # ------------------------------------------------------------------
+    # Body helpers
+    # ------------------------------------------------------------------
+
+    @staticmethod
+    def _body(info: FunctionInfo) -> Iterator[ast.AST]:
+        stack: list[ast.AST] = list(info.node.body)
+        while stack:
+            node = stack.pop()
+            yield node
+            if isinstance(
+                node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)
+            ):
+                continue
+            stack.extend(ast.iter_child_nodes(node))
+
+    def _global_names(self, info: FunctionInfo) -> set[str]:
+        names: set[str] = set()
+        for node in self._body(info):
+            if isinstance(node, (ast.Global, ast.Nonlocal)):
+                names.update(node.names)
+        return names
+
+    def _local_bindings(self, info: FunctionInfo) -> set[str]:
+        declared_global = self._global_names(info)
+        bound: set[str] = set()
+        for node in self._body(info):
+            targets: list[ast.expr] = []
+            if isinstance(node, ast.Assign):
+                targets = node.targets
+            elif isinstance(node, (ast.AnnAssign, ast.AugAssign)):
+                targets = [node.target]
+            elif isinstance(node, (ast.For, ast.AsyncFor)):
+                targets = [node.target]
+            elif isinstance(node, (ast.With, ast.AsyncWith)):
+                targets = [
+                    item.optional_vars
+                    for item in node.items
+                    if item.optional_vars is not None
+                ]
+            elif isinstance(node, ast.comprehension):
+                targets = [node.target]
+            for target in targets:
+                bound.update(_binding_names(target))
+        return bound - declared_global
+
+
+def analyze_purity(program: Program) -> PurityReport:
+    """The program's purity registry, cached on the program object."""
+    cached = program.cache.get("purity")
+    if isinstance(cached, PurityReport):
+        return cached
+    report = PurityAnalyzer(program).analyze()
+    program.cache["purity"] = report
+    return report
+
+
+def report_dict(
+    program: Program, report: PurityReport | None = None
+) -> dict[str, object]:
+    """The ``repro-lint-purity/1`` JSON document for ``--report``."""
+    if report is None:
+        report = analyze_purity(program)
+    functions: dict[str, dict[str, object]] = {}
+    for qualname in sorted(report.functions):
+        entry = report.functions[qualname]
+        functions[qualname] = {
+            "module": entry.module,
+            "line": entry.line,
+            "classification": entry.classification,
+            "reasons": list(entry.reasons),
+            "direct_effects": list(entry.direct_effects),
+            "callees": list(entry.callees),
+            "unresolved_calls": entry.unresolved_calls,
+            "public": entry.public,
+        }
+    n_pure = sum(1 for e in report.functions.values() if e.is_pure)
+    return {
+        "schema": "repro-lint-purity/1",
+        "modules": sorted(program.modules),
+        "functions": functions,
+        "summary": {
+            "functions": len(report.functions),
+            "pure": n_pure,
+            "impure": len(report.functions) - n_pure,
+        },
+    }
+
+
+def _base_name(node: ast.expr) -> str | None:
+    while isinstance(node, (ast.Attribute, ast.Subscript)):
+        node = node.value
+    if isinstance(node, ast.Name):
+        return node.id
+    return None
+
+
+def _binding_names(target: ast.expr) -> Iterator[str]:
+    """Names *bound* by an assignment target.
+
+    ``x = ...`` and ``x, *rest = ...`` bind names; ``x[0] = ...`` and
+    ``x.attr = ...`` mutate an existing object and bind nothing — their
+    inner names must not shadow the mutation analysis.
+    """
+    if isinstance(target, ast.Name):
+        yield target.id
+    elif isinstance(target, ast.Starred):
+        yield from _binding_names(target.value)
+    elif isinstance(target, (ast.Tuple, ast.List)):
+        for element in target.elts:
+            yield from _binding_names(element)

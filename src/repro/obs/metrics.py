@@ -16,6 +16,7 @@ overhead budget (see ``benchmarks/bench_obs_overhead.py``).
 
 from __future__ import annotations
 
+import threading
 from collections.abc import Mapping
 from typing import Any
 
@@ -208,6 +209,7 @@ class MetricsRegistry:
 
 
 _registry = MetricsRegistry()
+_registry_lock = threading.Lock()
 
 
 def get_metrics() -> MetricsRegistry:
@@ -216,8 +218,15 @@ def get_metrics() -> MetricsRegistry:
 
 
 def set_metrics(registry: MetricsRegistry) -> MetricsRegistry:
-    """Swap the process-wide registry; returns the previous one."""
+    """Swap the process-wide registry; returns the previous one.
+
+    The swap happens under a lock so concurrent swappers (tests, worker
+    initialisation, future serving sessions) see a consistent
+    previous/next pair; readers stay lock-free — a module-global load is
+    atomic under the GIL.
+    """
     global _registry
-    previous = _registry
-    _registry = registry
+    with _registry_lock:
+        previous = _registry
+        _registry = registry
     return previous

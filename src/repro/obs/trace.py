@@ -18,6 +18,7 @@ metrics registry, giving per-operator latency distributions for free.
 from __future__ import annotations
 
 import functools
+import threading
 import time
 from collections.abc import Callable, Iterator
 from dataclasses import dataclass, field
@@ -198,6 +199,7 @@ class Tracer:
 
 
 _tracer = Tracer(enabled=False)
+_tracer_lock = threading.Lock()
 
 
 def get_tracer() -> Tracer:
@@ -206,10 +208,17 @@ def get_tracer() -> Tracer:
 
 
 def set_tracer(tracer: Tracer) -> Tracer:
-    """Swap the process-wide tracer; returns the previous one."""
+    """Swap the process-wide tracer; returns the previous one.
+
+    The swap happens under a lock so concurrent swappers (tests, worker
+    initialisation, future serving sessions) see a consistent
+    previous/next pair; readers stay lock-free — a module-global load is
+    atomic under the GIL.
+    """
     global _tracer
-    previous = _tracer
-    _tracer = tracer
+    with _tracer_lock:
+        previous = _tracer
+        _tracer = tracer
     return previous
 
 

@@ -24,6 +24,7 @@ performance heuristic.
 from __future__ import annotations
 
 import os
+import threading
 from collections.abc import Iterator
 from contextlib import contextmanager
 
@@ -49,8 +50,17 @@ ENV_MIN_WORK = "REPRO_PARALLEL_MIN_WORK"
 #: inline — pool startup would dominate (see docs/parallelism.md).
 _DEFAULT_MIN_WORK = 4096
 
-#: Innermost :func:`parallelism_scope` override, or ``None``.
-_SCOPE: list[int] = []
+#: Per-thread stack of :func:`parallelism_scope` overrides.  Thread-local
+#: so a scope opened on one thread cannot leak an override into fan-outs
+#: resolving concurrently on another.
+_SCOPE = threading.local()
+
+
+def _scope_stack() -> list[int]:
+    stack = getattr(_SCOPE, "stack", None)
+    if stack is None:
+        stack = _SCOPE.stack = []
+    return stack
 
 Parallelism = int | str | None
 
@@ -76,8 +86,9 @@ def _parse(value: int | str, source: str) -> int:
 
 def default_parallelism() -> int:
     """The ambient worker count: scope override, else env var, else 1."""
-    if _SCOPE:
-        return _SCOPE[-1]
+    stack = _scope_stack()
+    if stack:
+        return stack[-1]
     raw = os.environ.get(ENV_WORKERS)
     if raw is None or not raw.strip():
         return 1
@@ -118,11 +129,12 @@ def parallelism_scope(parallelism: Parallelism) -> Iterator[int]:
         default_parallelism() if parallelism is None
         else _parse(parallelism, "parallelism")
     )
-    _SCOPE.append(workers)
+    stack = _scope_stack()
+    stack.append(workers)
     try:
         yield workers
     finally:
-        _SCOPE.pop()
+        stack.pop()
 
 
 def get_executor(

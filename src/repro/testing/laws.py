@@ -16,8 +16,10 @@ engine rejects it identically.
 
 from __future__ import annotations
 
+import functools
 from collections.abc import Callable, Sequence
 from dataclasses import dataclass
+from pathlib import Path
 
 import numpy as np
 
@@ -594,3 +596,58 @@ def _coarsen_union_consistency(
     if dict(on_coarse.edge_weights) != dict(on_base.edge_weights):
         return f"unit {unit!r}: coarse edge weights diverge from member window"
     return None
+
+
+# ----------------------------------------------------------------------
+# Analyzer self-law: linting is deterministic and read-only
+# ----------------------------------------------------------------------
+
+
+@functools.lru_cache(maxsize=1)
+def _lint_determinism_verdict() -> str | None:
+    """Lint ``src/repro`` twice; compare violations and file stats.
+
+    Cached so the (comparatively expensive) double pass runs once per
+    process no matter how many fuzz cases invoke the law.
+    """
+    import repro
+    from ..lint import lint_paths, load_config
+
+    package_dir = Path(repro.__file__).parent
+    pyproject = package_dir.parent.parent / "pyproject.toml"
+    config = load_config(pyproject if pyproject.is_file() else None)
+    root = package_dir.parent.parent
+
+    def stats() -> dict[str, tuple[int, int]]:
+        return {
+            str(path): (path.stat().st_mtime_ns, path.stat().st_size)
+            for path in sorted(package_dir.rglob("*.py"))
+        }
+
+    before = stats()
+    first = lint_paths([package_dir], config, root=root)
+    second = lint_paths([package_dir], config, root=root)
+    after = stats()
+    if first != second:
+        return (
+            f"lint is nondeterministic: {len(first)} violations on the "
+            f"first pass, {len(second)} on the second"
+        )
+    if before != after:
+        changed = sorted(
+            path for path in before
+            if before[path] != after.get(path)
+        )
+        return f"lint mutated source files: {changed[:3]}"
+    return None
+
+
+@register_law(
+    "lint-deterministic-readonly",
+    "a lint pass over src/repro is deterministic and mutates no files",
+)
+def _lint_deterministic_readonly(
+    graph: TemporalGraph, rng: np.random.Generator
+) -> str | None:
+    del graph, rng  # the analyzer's input is the source tree itself
+    return _lint_determinism_verdict()

@@ -1,0 +1,719 @@
+"""Fixture-based tests for the whole-program rules GT007-GT012.
+
+Mirrors the GT001-GT006 suite: one known-bad and one known-good snippet
+per rule, laid out as ``src/repro/...`` so the dotted-name scoping is
+exercised for real, plus CLI contract tests (``--format json``,
+``--ignore``, ``--report``, exit codes) and the acceptance gate — the
+repository itself is zero-violation under GT007-GT012 and the committed
+CI baseline agrees.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import subprocess
+import sys
+import textwrap
+from pathlib import Path
+
+from repro.lint import LintConfig, Violation, lint_paths, load_config
+from repro.lint.config import config_from_mapping
+
+REPO = Path(__file__).resolve().parent.parent
+
+
+def make_config(*rules: str, **tables: dict[str, object]) -> LintConfig:
+    """A config selecting exactly ``rules``, with optional table overrides."""
+    overrides: dict[str, object] = {"select": list(rules)}
+    overrides.update(tables)
+    return config_from_mapping(overrides)
+
+
+def lint_files(
+    tmp_path: Path, files: dict[str, str], config: LintConfig
+) -> list[Violation]:
+    for relpath, source in files.items():
+        target = tmp_path / relpath
+        target.parent.mkdir(parents=True, exist_ok=True)
+        target.write_text(textwrap.dedent(source))
+    return lint_paths([tmp_path], config, root=tmp_path)
+
+
+def rule_ids(violations: list[Violation]) -> set[str]:
+    return {violation.rule for violation in violations}
+
+
+# ---------------------------------------------------------------------------
+# GT007 — worker-function fork-safety
+# ---------------------------------------------------------------------------
+
+
+def test_gt007_flags_lambda_and_nested_submissions(tmp_path: Path) -> None:
+    violations = lint_files(
+        tmp_path,
+        {
+            "src/repro/jobs.py": """
+                from repro.parallel import get_executor
+
+                __all__ = ["bad_lambda", "bad_nested"]
+
+                def bad_lambda(tasks):
+                    executor = get_executor(2)
+                    return executor.map(lambda p, t: t, tasks, None)
+
+                def bad_nested(tasks):
+                    def worker(payload, task):
+                        return task
+                    executor = get_executor(2)
+                    return executor.map(worker, tasks, None)
+            """,
+        },
+        make_config("GT007"),
+    )
+    assert len(violations) == 2
+    assert rule_ids(violations) == {"GT007"}
+    assert "lambda" in violations[0].message
+    assert "nested function 'worker'" in violations[1].message
+
+
+def test_gt007_flags_bound_method_submission(tmp_path: Path) -> None:
+    violations = lint_files(
+        tmp_path,
+        {
+            "src/repro/jobs.py": """
+                from repro.parallel import get_executor
+
+                __all__ = ["Runner"]
+
+                class Runner:
+                    def work(self, payload, task):
+                        return task
+
+                    def go(self, tasks):
+                        executor = get_executor(2)
+                        return executor.map(self.work, tasks, None)
+            """,
+        },
+        make_config("GT007"),
+    )
+    assert rule_ids(violations) == {"GT007"}
+    assert "bound method" in violations[0].message
+
+
+def test_gt007_accepts_module_level_worker(tmp_path: Path) -> None:
+    violations = lint_files(
+        tmp_path,
+        {
+            "src/repro/jobs.py": """
+                from repro.parallel import get_executor
+
+                __all__ = ["run"]
+
+                def _worker(payload, task):
+                    return task
+
+                def run(tasks):
+                    executor = get_executor(2)
+                    return executor.map(_worker, tasks, None)
+            """,
+        },
+        make_config("GT007"),
+    )
+    assert violations == []
+
+
+def test_gt007_resolves_one_level_of_indirection(tmp_path: Path) -> None:
+    """The explore.py shape: a helper takes the worker as a parameter."""
+    files = {
+        "src/repro/jobs.py": """
+            from repro.parallel import get_executor
+
+            __all__ = ["good", "bad"]
+
+            def _chunk(payload, task):
+                return task
+
+            def _run(fn, tasks):
+                executor = get_executor(2)
+                return executor.map(fn, tasks, None)
+
+            def good(tasks):
+                return _run(_chunk, tasks)
+
+            def bad(tasks):
+                def local(payload, task):
+                    return task
+                return _run(local, tasks)
+        """,
+    }
+    violations = lint_files(tmp_path, files, make_config("GT007"))
+    assert rule_ids(violations) == {"GT007"}
+    assert len(violations) == 1
+    assert "nested function 'local'" in violations[0].message
+
+
+def test_gt007_flags_unresolvable_parameter(tmp_path: Path) -> None:
+    violations = lint_files(
+        tmp_path,
+        {
+            "src/repro/jobs.py": """
+                from repro.parallel import get_executor
+
+                __all__ = ["orphan"]
+
+                def orphan(fn, tasks):
+                    executor = get_executor(2)
+                    return executor.map(fn, tasks, None)
+            """,
+        },
+        make_config("GT007"),
+    )
+    assert rule_ids(violations) == {"GT007"}
+    assert "no caller" in violations[0].message
+
+
+def test_gt007_suppressible_inline(tmp_path: Path) -> None:
+    violations = lint_files(
+        tmp_path,
+        {
+            "src/repro/jobs.py": """
+                from repro.parallel import get_executor
+
+                __all__ = ["orphan"]
+
+                def orphan(fn, tasks):
+                    executor = get_executor(2)
+                    return executor.map(fn, tasks, None)  # lint: ignore[GT007]
+            """,
+        },
+        make_config("GT007"),
+    )
+    assert violations == []
+
+
+# ---------------------------------------------------------------------------
+# GT008 — workers must not mutate the shared payload
+# ---------------------------------------------------------------------------
+
+
+GT008_BAD = {
+    "src/repro/jobs.py": """
+        from repro.parallel import get_executor
+
+        __all__ = ["run"]
+
+        def _worker(payload, task):
+            payload["seen"] = task
+            rows = payload["rows"]
+            rows.append(task)
+            return task
+
+        def run(tasks, payload):
+            executor = get_executor(2)
+            return executor.map(_worker, tasks, payload)
+    """,
+}
+
+GT008_GOOD = {
+    "src/repro/jobs.py": """
+        from repro.parallel import get_executor
+
+        __all__ = ["run"]
+
+        def _worker(payload, task):
+            rows = payload["rows"]
+            local = list(rows)
+            local.append(task)
+            return len(local)
+
+        def run(tasks, payload):
+            executor = get_executor(2)
+            return executor.map(_worker, tasks, payload)
+    """,
+}
+
+
+def test_gt008_flags_payload_writes_and_alias_mutation(tmp_path: Path) -> None:
+    violations = lint_files(tmp_path, GT008_BAD, make_config("GT008"))
+    assert rule_ids(violations) == {"GT008"}
+    assert len(violations) == 2
+    assert "shared payload" in violations[0].message
+    assert ".append()" in violations[1].message
+
+
+def test_gt008_accepts_readonly_payload_with_local_copy(tmp_path: Path) -> None:
+    violations = lint_files(tmp_path, GT008_GOOD, make_config("GT008"))
+    assert violations == []
+
+
+# ---------------------------------------------------------------------------
+# GT009 — no mutable module globals written at runtime
+# ---------------------------------------------------------------------------
+
+
+def test_gt009_flags_runtime_global_mutation(tmp_path: Path) -> None:
+    violations = lint_files(
+        tmp_path,
+        {
+            "src/repro/state.py": """
+                __all__ = ["remember", "reset"]
+
+                _CACHE = {}
+                _LOG = []
+
+                def remember(key, value):
+                    _CACHE[key] = value
+
+                def reset():
+                    global _LOG
+                    _LOG = []
+            """,
+        },
+        make_config("GT009"),
+    )
+    assert rule_ids(violations) == {"GT009"}
+    assert len(violations) == 2
+    assert "mutates module global '_CACHE'" in violations[0].message
+    assert "rebinds module global '_LOG'" in violations[1].message
+
+
+def test_gt009_exempts_sanctioned_registries_and_thread_locals(
+    tmp_path: Path,
+) -> None:
+    violations = lint_files(
+        tmp_path,
+        {
+            "src/repro/state.py": """
+                import threading
+
+                __all__ = ["register", "remember"]
+
+                _REGISTRY = {}
+                _LOCAL = threading.local()
+
+                def register(name, value):
+                    _REGISTRY[name] = value
+
+                def remember(value):
+                    _LOCAL.value = value
+            """,
+        },
+        make_config("GT009"),
+    )
+    assert violations == []
+
+
+def test_gt009_custom_sanctioned_patterns(tmp_path: Path) -> None:
+    config = config_from_mapping(
+        {"select": ["GT009"], "GT009": {"sanctioned": ["repro.state._POOL"]}}
+    )
+    violations = lint_files(
+        tmp_path,
+        {
+            "src/repro/state.py": """
+                __all__ = ["fill"]
+
+                _POOL = []
+
+                def fill(item):
+                    _POOL.append(item)
+            """,
+        },
+        config,
+    )
+    assert violations == []
+
+
+def test_gt009_locals_shadowing_globals_are_fine(tmp_path: Path) -> None:
+    violations = lint_files(
+        tmp_path,
+        {
+            "src/repro/state.py": """
+                __all__ = ["compute"]
+
+                _TABLE = {}
+
+                def compute(x):
+                    _TABLE = {}
+                    _TABLE[x] = x
+                    return _TABLE
+            """,
+        },
+        make_config("GT009"),
+    )
+    assert violations == []
+
+
+# ---------------------------------------------------------------------------
+# GT010 — singleton swap discipline
+# ---------------------------------------------------------------------------
+
+
+GT010_CONFIG = config_from_mapping(
+    {
+        "select": ["GT010"],
+        "GT010": {
+            "singletons": ["repro.svc._current"],
+            "setters": ["repro.svc.set_current"],
+        },
+    }
+)
+
+
+def test_gt010_flags_swap_outside_setter(tmp_path: Path) -> None:
+    violations = lint_files(
+        tmp_path,
+        {
+            "src/repro/svc.py": """
+                import threading
+
+                __all__ = ["hijack"]
+
+                _current = object()
+                _lock = threading.Lock()
+
+                def hijack(new):
+                    global _current
+                    _current = new
+            """,
+        },
+        GT010_CONFIG,
+    )
+    assert rule_ids(violations) == {"GT010"}
+    assert "outside a sanctioned setter" in violations[0].message
+
+
+def test_gt010_flags_unlocked_setter(tmp_path: Path) -> None:
+    violations = lint_files(
+        tmp_path,
+        {
+            "src/repro/svc.py": """
+                __all__ = ["set_current"]
+
+                _current = object()
+
+                def set_current(new):
+                    global _current
+                    previous = _current
+                    _current = new
+                    return previous
+            """,
+        },
+        GT010_CONFIG,
+    )
+    assert rule_ids(violations) == {"GT010"}
+    assert "without holding a lock" in violations[0].message
+
+
+def test_gt010_accepts_locked_setter(tmp_path: Path) -> None:
+    violations = lint_files(
+        tmp_path,
+        {
+            "src/repro/svc.py": """
+                import threading
+
+                __all__ = ["set_current"]
+
+                _current = object()
+                _lock = threading.Lock()
+
+                def set_current(new):
+                    global _current
+                    with _lock:
+                        previous = _current
+                        _current = new
+                    return previous
+            """,
+        },
+        GT010_CONFIG,
+    )
+    assert violations == []
+
+
+# ---------------------------------------------------------------------------
+# GT011 — no impure calls from pure operator contexts
+# ---------------------------------------------------------------------------
+
+
+def test_gt011_flags_impure_call_in_operator_module(tmp_path: Path) -> None:
+    violations = lint_files(
+        tmp_path,
+        {
+            "src/repro/core/helpers.py": """
+                __all__ = ["audit"]
+
+                _SEEN = []
+
+                def audit(x):
+                    _SEEN.append(x)
+                    return x
+            """,
+            "src/repro/core/operators.py": """
+                from .helpers import audit
+
+                __all__ = ["project"]
+
+                def project(frame):
+                    audit(frame)
+                    return frame
+            """,
+        },
+        make_config("GT011"),
+    )
+    assert rule_ids(violations) == {"GT011"}
+    assert violations[0].path.endswith("operators.py")
+    assert "impure" in violations[0].message
+
+
+def test_gt011_accepts_pure_helpers_and_allowlisted_calls(
+    tmp_path: Path,
+) -> None:
+    violations = lint_files(
+        tmp_path,
+        {
+            "src/repro/core/helpers.py": """
+                __all__ = ["double"]
+
+                def double(x):
+                    return x * 2
+            """,
+            "src/repro/obs/probe.py": """
+                __all__ = ["count"]
+
+                _HITS = []
+
+                def count(x):
+                    _HITS.append(x)
+            """,
+            "src/repro/core/operators.py": """
+                from repro.obs.probe import count
+                from .helpers import double
+
+                __all__ = ["project"]
+
+                def project(frame):
+                    count(frame)
+                    return double(frame)
+            """,
+        },
+        make_config("GT011"),
+    )
+    assert violations == []
+
+
+def test_gt011_out_of_scope_modules_are_not_checked(tmp_path: Path) -> None:
+    violations = lint_files(
+        tmp_path,
+        {
+            "src/repro/io/writer.py": """
+                __all__ = ["dump"]
+
+                _SEEN = []
+
+                def _record(x):
+                    _SEEN.append(x)
+
+                def dump(x):
+                    _record(x)
+                    return x
+            """,
+        },
+        make_config("GT011"),
+    )
+    assert violations == []
+
+
+# ---------------------------------------------------------------------------
+# GT012 — no unguarded attribute writes on shared singletons
+# ---------------------------------------------------------------------------
+
+
+def test_gt012_flags_attribute_write_on_accessor_result(tmp_path: Path) -> None:
+    violations = lint_files(
+        tmp_path,
+        {
+            "src/repro/session2.py": """
+                from repro.obs import get_tracer
+
+                __all__ = ["enable"]
+
+                def enable():
+                    tracer = get_tracer()
+                    tracer.enabled = True
+                    get_tracer().enabled = True
+            """,
+        },
+        make_config("GT012"),
+    )
+    assert rule_ids(violations) == {"GT012"}
+    assert len(violations) == 2
+    assert "without a lock" in violations[0].message
+
+
+def test_gt012_accepts_locked_write_and_reads(tmp_path: Path) -> None:
+    violations = lint_files(
+        tmp_path,
+        {
+            "src/repro/session2.py": """
+                import threading
+
+                from repro.obs import get_tracer
+
+                __all__ = ["enable", "peek"]
+
+                _lock = threading.Lock()
+
+                def enable():
+                    with _lock:
+                        get_tracer().enabled = True
+
+                def peek():
+                    tracer = get_tracer()
+                    return tracer.enabled
+            """,
+        },
+        make_config("GT012"),
+    )
+    assert violations == []
+
+
+def test_gt012_exempt_modules_can_write(tmp_path: Path) -> None:
+    violations = lint_files(
+        tmp_path,
+        {
+            "src/repro/obs/control.py": """
+                from repro.obs import get_tracer
+
+                __all__ = ["enable"]
+
+                def enable():
+                    get_tracer().enabled = True
+            """,
+        },
+        make_config("GT012"),
+    )
+    assert violations == []
+
+
+# ---------------------------------------------------------------------------
+# CLI contract: --format json, --ignore, --report, exit codes
+# ---------------------------------------------------------------------------
+
+
+def run_cli(*args: str, cwd: Path) -> subprocess.CompletedProcess[str]:
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(REPO / "src") + os.pathsep + env.get("PYTHONPATH", "")
+    return subprocess.run(
+        [sys.executable, "-m", "repro.lint", *args],
+        cwd=cwd,
+        env=env,
+        capture_output=True,
+        text=True,
+        timeout=120,
+    )
+
+
+def write_bad_tree(tmp_path: Path) -> None:
+    target = tmp_path / "src/repro/state.py"
+    target.parent.mkdir(parents=True, exist_ok=True)
+    target.write_text(
+        textwrap.dedent(
+            """
+            __all__ = ["remember"]
+
+            _CACHE = {}
+
+            def remember(key, value):
+                _CACHE[key] = value
+            """
+        )
+    )
+
+
+def test_cli_json_format_and_exit_code_one(tmp_path: Path) -> None:
+    write_bad_tree(tmp_path)
+    result = run_cli(
+        "--select", "GT009", "--format", "json", "-q", "src", cwd=tmp_path
+    )
+    assert result.returncode == 1
+    document = json.loads(result.stdout)
+    assert document["schema"] == "repro-lint/1"
+    assert document["rules"] == ["GT009"]
+    assert document["summary"]["violations"] == 1
+    violation = document["violations"][0]
+    assert violation["rule"] == "GT009"
+    assert violation["path"].endswith("state.py")
+    assert violation["line"] > 0
+
+
+def test_cli_ignore_drops_rules(tmp_path: Path) -> None:
+    write_bad_tree(tmp_path)
+    result = run_cli(
+        "--select", "GT009", "--ignore", "GT009", "-q", "src", cwd=tmp_path
+    )
+    assert result.returncode == 0, result.stdout + result.stderr
+
+
+def test_cli_unknown_ignore_is_a_config_error(tmp_path: Path) -> None:
+    write_bad_tree(tmp_path)
+    result = run_cli("--ignore", "GT999", "src", cwd=tmp_path)
+    assert result.returncode == 2
+    assert "GT999" in result.stderr
+
+
+def test_cli_report_writes_purity_registry(tmp_path: Path) -> None:
+    write_bad_tree(tmp_path)
+    result = run_cli(
+        "--select", "GT005", "--report", "purity.json", "-q", "src",
+        cwd=tmp_path,
+    )
+    assert result.returncode == 0, result.stdout + result.stderr
+    document = json.loads((tmp_path / "purity.json").read_text())
+    assert document["schema"] == "repro-lint-purity/1"
+    entry = document["functions"]["repro.state.remember"]
+    assert entry["classification"] == "impure"
+    assert any("mutates module global" in r for r in entry["reasons"])
+
+
+def test_repro_cli_lint_subcommand_forwards(tmp_path: Path) -> None:
+    write_bad_tree(tmp_path)
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(REPO / "src") + os.pathsep + env.get("PYTHONPATH", "")
+    result = subprocess.run(
+        [sys.executable, "-m", "repro", "lint", "--select", "GT009", "-q", "src"],
+        cwd=tmp_path,
+        env=env,
+        capture_output=True,
+        text=True,
+        timeout=120,
+    )
+    assert result.returncode == 1
+    assert "GT009" in result.stdout
+
+
+# ---------------------------------------------------------------------------
+# Acceptance gate: the repository itself is clean under GT007-GT012
+# ---------------------------------------------------------------------------
+
+
+def test_repository_concurrency_rules_are_clean() -> None:
+    config = load_config(REPO / "pyproject.toml")
+    new_rules = ["GT007", "GT008", "GT009", "GT010", "GT011", "GT012"]
+    assert all(rule in config.select for rule in new_rules)
+    narrowed = LintConfig(
+        select=tuple(new_rules), exclude=config.exclude, rules=config.rules
+    )
+    violations = lint_paths([REPO / "src", REPO / "tests"], narrowed, root=REPO)
+    assert violations == [], "\n".join(v.render() for v in violations)
+
+
+def test_committed_baseline_matches_reality() -> None:
+    baseline = json.loads(
+        (REPO / "ci/lint_concurrency_baseline.json").read_text()
+    )
+    assert baseline["schema"] == "repro-lint/1"
+    assert baseline["violations"] == []
+    assert baseline["rules"] == [
+        "GT007", "GT008", "GT009", "GT010", "GT011", "GT012",
+    ]

@@ -1,0 +1,251 @@
+"""Tests for the transitive purity / side-effect inference engine.
+
+Fixture modules with known-pure and known-impure functions assert exact
+classifications, the transitive fixpoint (including through cycles), the
+dynamic-call fallback counter, and the ``repro-lint-purity/1`` report
+schema.  The repo-level test pins the acceptance criterion: the registry
+covers every public function in ``repro.core``, ``repro.exploration``
+and ``repro.parallel``.
+"""
+
+from __future__ import annotations
+
+import textwrap
+from pathlib import Path
+
+from repro.lint.callgraph import Program, build_program
+from repro.lint.config import config_from_mapping, load_config
+from repro.lint.engine import load_modules
+from repro.lint.purity import PurityReport, analyze_purity, report_dict
+
+REPO = Path(__file__).resolve().parent.parent
+DEFAULT_CONFIG = config_from_mapping({})
+
+
+def analyze_fixture(
+    tmp_path: Path, files: dict[str, str]
+) -> tuple[Program, PurityReport]:
+    for relpath, source in files.items():
+        target = tmp_path / relpath
+        target.parent.mkdir(parents=True, exist_ok=True)
+        target.write_text(textwrap.dedent(source))
+    modules, failures = load_modules([tmp_path], DEFAULT_CONFIG, root=tmp_path)
+    assert failures == []
+    program = build_program(modules)
+    return program, analyze_purity(program)
+
+
+FIXTURE = {
+    "src/repro/pur/__init__.py": """
+        __all__ = []
+    """,
+    "src/repro/pur/clean.py": """
+        __all__ = ["double", "combine", "chain"]
+
+        def double(x):
+            return x * 2
+
+        def combine(a, b):
+            return double(a) + double(b)
+
+        def chain(x):
+            return combine(x, x)
+    """,
+    "src/repro/pur/dirty.py": """
+        import os
+
+        from .clean import double
+
+        __all__ = ["log_it", "tainted", "mutate_param", "rebind", "env"]
+
+        _CACHE = {}
+
+        def log_it(x):
+            print(x)
+            return x
+
+        def tainted(x):
+            return log_it(double(x))
+
+        def mutate_param(items):
+            items.append(1)
+            return items
+
+        def rebind(x):
+            global _CACHE
+            _CACHE = {"x": x}
+            return x
+
+        def stash(x):
+            _CACHE["x"] = x
+            return x
+
+        def env():
+            return os.environ.get("HOME")
+
+        def _hidden(x):
+            return x
+    """,
+    "src/repro/pur/cyclic.py": """
+        __all__ = ["even", "odd", "spin"]
+
+        def even(n):
+            return True if n == 0 else odd(n - 1)
+
+        def odd(n):
+            return False if n == 0 else even(n - 1)
+
+        def spin(n, sink):
+            if n:
+                spin(n - 1, sink)
+            sink.append(n)
+    """,
+    "src/repro/pur/dynamic.py": """
+        __all__ = ["dispatch", "confined"]
+
+        def dispatch(table, x):
+            return table["k"](x) + table["j"](x)
+
+        def confined(x):
+            box = []
+            box.append(x)
+            return box
+    """,
+}
+
+
+def test_pure_functions_classify_pure(tmp_path: Path) -> None:
+    _, report = analyze_fixture(tmp_path, FIXTURE)
+    for name in ("double", "combine", "chain"):
+        entry = report.functions[f"repro.pur.clean.{name}"]
+        assert entry.classification == "pure", entry.reasons
+
+
+def test_impure_builtin_call_is_a_direct_effect(tmp_path: Path) -> None:
+    _, report = analyze_fixture(tmp_path, FIXTURE)
+    entry = report.functions["repro.pur.dirty.log_it"]
+    assert entry.classification == "impure"
+    assert "calls impure builtin 'print'" in entry.direct_effects
+
+
+def test_impurity_propagates_transitively(tmp_path: Path) -> None:
+    _, report = analyze_fixture(tmp_path, FIXTURE)
+    entry = report.functions["repro.pur.dirty.tainted"]
+    assert entry.classification == "impure"
+    assert entry.direct_effects == ()
+    assert "calls impure 'repro.pur.dirty.log_it'" in entry.reasons
+
+
+def test_parameter_mutation_is_impure(tmp_path: Path) -> None:
+    _, report = analyze_fixture(tmp_path, FIXTURE)
+    entry = report.functions["repro.pur.dirty.mutate_param"]
+    assert entry.classification == "impure"
+    assert any("mutates parameter" in r for r in entry.direct_effects)
+
+
+def test_global_rebind_and_mutation_are_impure(tmp_path: Path) -> None:
+    _, report = analyze_fixture(tmp_path, FIXTURE)
+    rebind = report.functions["repro.pur.dirty.rebind"]
+    assert "rebinds module global '_CACHE'" in rebind.direct_effects
+    stash = report.functions["repro.pur.dirty.stash"]
+    assert any("mutates module global" in r for r in stash.direct_effects)
+
+
+def test_impure_module_calls_are_impure(tmp_path: Path) -> None:
+    _, report = analyze_fixture(tmp_path, FIXTURE)
+    entry = report.functions["repro.pur.dirty.env"]
+    assert entry.classification == "impure"
+    assert any("impure module" in r for r in entry.direct_effects)
+
+
+def test_pure_cycle_stays_pure(tmp_path: Path) -> None:
+    _, report = analyze_fixture(tmp_path, FIXTURE)
+    assert report.functions["repro.pur.cyclic.even"].is_pure
+    assert report.functions["repro.pur.cyclic.odd"].is_pure
+
+
+def test_self_recursive_impure_function(tmp_path: Path) -> None:
+    _, report = analyze_fixture(tmp_path, FIXTURE)
+    spin = report.functions["repro.pur.cyclic.spin"]
+    assert spin.classification == "impure"  # sink.append mutates a parameter
+
+
+def test_dynamic_calls_counted_not_propagated(tmp_path: Path) -> None:
+    _, report = analyze_fixture(tmp_path, FIXTURE)
+    entry = report.functions["repro.pur.dynamic.dispatch"]
+    assert entry.classification == "pure"
+    assert entry.unresolved_calls == 2
+
+
+def test_local_container_mutation_is_pure(tmp_path: Path) -> None:
+    _, report = analyze_fixture(tmp_path, FIXTURE)
+    entry = report.functions["repro.pur.dynamic.confined"]
+    assert entry.classification == "pure", entry.reasons
+    # `box.append` cannot be resolved statically, so it counts toward
+    # the soundness gate even though the mutation is thread-confined.
+    assert entry.unresolved_calls == 1
+
+
+def test_thread_local_global_writes_are_not_effects(tmp_path: Path) -> None:
+    _, report = analyze_fixture(
+        tmp_path,
+        {
+            "src/repro/tl.py": """
+                import threading
+
+                __all__ = ["remember"]
+
+                _STATE = threading.local()
+
+                def remember(x):
+                    _STATE.value = x
+                    return x
+            """,
+        },
+    )
+    entry = report.functions["repro.tl.remember"]
+    assert entry.direct_effects == ()
+
+
+def test_report_dict_schema(tmp_path: Path) -> None:
+    program, report = analyze_fixture(tmp_path, FIXTURE)
+    document = report_dict(program, report)
+    assert document["schema"] == "repro-lint-purity/1"
+    functions = document["functions"]
+    assert isinstance(functions, dict)
+    entry = functions["repro.pur.clean.double"]
+    assert entry["classification"] == "pure"
+    assert entry["public"] is True
+    assert entry["unresolved_calls"] == 0
+    summary = document["summary"]
+    assert isinstance(summary, dict)
+    assert summary["functions"] == len(functions)
+    assert summary["pure"] + summary["impure"] == summary["functions"]
+    private = functions["repro.pur.dirty._hidden"]
+    assert private["public"] is False
+
+
+def test_purity_report_is_cached_on_the_program(tmp_path: Path) -> None:
+    program, report = analyze_fixture(tmp_path, FIXTURE)
+    assert analyze_purity(program) is report
+
+
+def test_registry_covers_all_public_functions_in_repo() -> None:
+    """Acceptance criterion: every public function in repro.core,
+    repro.exploration and repro.parallel appears in the registry."""
+    config = load_config(REPO / "pyproject.toml")
+    modules, failures = load_modules([REPO / "src"], config, root=REPO)
+    assert failures == []
+    program = build_program(modules)
+    report = analyze_purity(program)
+    prefixes = ("repro.core.", "repro.exploration.", "repro.parallel.")
+    expected = {
+        info.qualname
+        for info in program.functions.values()
+        if info.qualname.startswith(prefixes)
+    }
+    assert expected, "fixture drifted: no functions found under the prefixes"
+    missing = expected - set(report.functions)
+    assert missing == set()
+    public = [q for q in expected if report.functions[q].public]
+    assert len(public) > 100  # core+exploration+parallel surface is large
