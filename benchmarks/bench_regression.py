@@ -27,6 +27,8 @@ import pytest
 
 from bench_parallel_speedup import GATE, GATE_MIN_CPUS
 from bench_parallel_speedup import main as parallel_bench_main
+from bench_streaming import GATE as STREAMING_GATE
+from bench_streaming import main as streaming_bench_main
 
 pytestmark = pytest.mark.bench_smoke
 
@@ -128,6 +130,32 @@ class TestParallelBaseline:
         assert parallel_baseline["inline_guarantee"]["overhead"] <= bench_tolerance
 
 
+class TestStreamingBaseline:
+    def test_structure(self, streaming_baseline):
+        meta = streaming_baseline["meta"]
+        assert not meta["smoke"]
+        assert meta["gate"] == STREAMING_GATE
+        assert streaming_baseline["ingestion"]["appends"] == meta["n_appends"]
+        assert streaming_baseline["ingestion"]["appends_per_s"] > 0
+        workloads = {
+            row["workload"] for row in streaming_baseline["speedups"]
+        }
+        assert workloads == {"totals", "evolution", "exploration"}
+        for row in streaming_baseline["speedups"]:
+            assert _recomputes(
+                row["speedup"], row["scratch_best_s"], row["delta_best_s"]
+            )
+
+    def test_delta_beats_recompute_gate(
+        self, streaming_baseline, bench_tolerance
+    ):
+        gate = streaming_baseline["meta"]["gate"]
+        for row in streaming_baseline["speedups"]:
+            assert row["speedup"] >= gate * (1 - bench_tolerance), (
+                f"{row['workload']} delta path regressed below the gate"
+            )
+
+
 class TestLiveSmoke:
     def test_parallel_bench_smoke_run(self, tmp_path):
         """End-to-end smoke run: parity asserts fire on *this* machine."""
@@ -138,3 +166,17 @@ class TestLiveSmoke:
         assert report["meta"]["smoke"] is True
         assert len(report["speedups"]) == 4
         assert report["inline_guarantee"]["serial_best_s"] > 0
+
+    def test_streaming_bench_smoke_run(self, tmp_path):
+        """End-to-end smoke run: the delta-vs-recompute parity asserts
+        fire on *this* machine before anything is timed."""
+        output = tmp_path / "BENCH_streaming.json"
+        exit_code = streaming_bench_main(["--smoke", "--output", str(output)])
+        assert exit_code == 0
+        report = json.loads(output.read_text(encoding="utf-8"))
+        assert report["meta"]["smoke"] is True
+        assert {row["workload"] for row in report["speedups"]} == {
+            "totals",
+            "evolution",
+            "exploration",
+        }

@@ -93,6 +93,11 @@ def parallel_baseline() -> dict:
 
 
 @pytest.fixture(scope="session")
+def streaming_baseline() -> dict:
+    return load_baseline("BENCH_streaming.json")
+
+
+@pytest.fixture(scope="session")
 def dblp():
     """The DBLP-like graph at the benchmark scale."""
     return generate_dblp(scale=BENCH_SCALE, seed=7 + TEST_SEED)

@@ -29,6 +29,12 @@ from .core import (
     union,
 )
 from .session import GraphTempoSession
+from .streaming import (
+    EdgeEvent,
+    GraphVersion,
+    NodeEvent,
+    StreamingStore,
+)
 
 __version__ = "1.0.0"
 
@@ -53,5 +59,9 @@ __all__ = [
     "filter_appearances",
     "attribute_predicate",
     "GraphTempoSession",
+    "StreamingStore",
+    "GraphVersion",
+    "NodeEvent",
+    "EdgeEvent",
     "__version__",
 ]

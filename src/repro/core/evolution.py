@@ -231,6 +231,33 @@ def _appearance_sets(
     return node_appearances, edge_appearances
 
 
+def _weights_from_appearances(
+    old: set[tuple[Any, Any]],
+    new: set[tuple[Any, Any]],
+) -> dict[Any, EvolutionWeights]:
+    """Per-tuple event weights from two (entity, tuple) appearance sets.
+
+    The unit of counting is the appearance: stability for pairs in both
+    windows, growth for new-only, shrinkage for old-only, each keyed by
+    the appearance's attribute tuple.  Shared by
+    :func:`aggregate_evolution` and the delta-maintained
+    :class:`repro.streaming.EvolutionView`, so both produce bit-identical
+    weights from identical sets.
+    """
+    counters: dict[Any, dict[str, int]] = {}
+
+    def bump(pairs: set[tuple[Any, Any]], kind: str) -> None:
+        for _, key in pairs:
+            counters.setdefault(
+                key, {"stability": 0, "growth": 0, "shrinkage": 0}
+            )[kind] += 1
+
+    bump(old & new, "stability")
+    bump(new - old, "growth")
+    bump(old - new, "shrinkage")
+    return {key: EvolutionWeights(**counts) for key, counts in counters.items()}
+
+
 def aggregate_evolution(
     graph: TemporalGraph,
     old_times: Iterable[Hashable],
@@ -253,40 +280,8 @@ def aggregate_evolution(
         raise ValidationError("evolution aggregation requires two non-empty time sets")
     old_nodes, old_edges = _appearance_sets(graph, attributes, old)
     new_nodes, new_edges = _appearance_sets(graph, attributes, new)
-
-    node_weights: dict[AttributeTuple, EvolutionWeights] = {}
-    counters: dict[AttributeTuple, dict[str, int]] = {}
-    for _, values in old_nodes & new_nodes:
-        counters.setdefault(values, {"stability": 0, "growth": 0, "shrinkage": 0})[
-            "stability"
-        ] += 1
-    for _, values in new_nodes - old_nodes:
-        counters.setdefault(values, {"stability": 0, "growth": 0, "shrinkage": 0})[
-            "growth"
-        ] += 1
-    for _, values in old_nodes - new_nodes:
-        counters.setdefault(values, {"stability": 0, "growth": 0, "shrinkage": 0})[
-            "shrinkage"
-        ] += 1
-    for values, counts in counters.items():
-        node_weights[values] = EvolutionWeights(**counts)
-
-    edge_weights: dict[EdgeKey, EvolutionWeights] = {}
-    edge_counters: dict[EdgeKey, dict[str, int]] = {}
-    for _, pair in old_edges & new_edges:
-        edge_counters.setdefault(pair, {"stability": 0, "growth": 0, "shrinkage": 0})[
-            "stability"
-        ] += 1
-    for _, pair in new_edges - old_edges:
-        edge_counters.setdefault(pair, {"stability": 0, "growth": 0, "shrinkage": 0})[
-            "growth"
-        ] += 1
-    for _, pair in old_edges - new_edges:
-        edge_counters.setdefault(pair, {"stability": 0, "growth": 0, "shrinkage": 0})[
-            "shrinkage"
-        ] += 1
-    for pair, counts in edge_counters.items():
-        edge_weights[pair] = EvolutionWeights(**counts)
+    node_weights = _weights_from_appearances(old_nodes, new_nodes)
+    edge_weights = _weights_from_appearances(old_edges, new_edges)
 
     return EvolutionAggregate(
         attributes=tuple(attributes),

@@ -40,13 +40,20 @@ class SnapshotUpdate:
         without time-varying attributes).
     static:
         Static attribute values for nodes appearing for the *first*
-        time; ignored for known nodes (static values cannot change).
+        time; values for known nodes are ignored (static values cannot
+        change) but attribute *names* are always validated.
     edges:
         Directed edges active at the new time point.  Both endpoints
         must be present in ``nodes``.
     edge_attrs:
         Static edge-attribute values for edges appearing for the first
-        time (graphs without edge attributes ignore this).
+        time.  As with ``static``, names are validated for every entry;
+        a graph without edge attributes rejects any supplied name.
+
+    All fields are frozen into owned tuples/dicts on construction, so an
+    update built from generators or shared mutable mappings stays
+    replayable: appending it twice (or into two stores) sees identical
+    content.
     """
 
     time: Hashable
@@ -54,6 +61,23 @@ class SnapshotUpdate:
     static: Mapping[NodeId, Mapping[str, Any]] = field(default_factory=dict)
     edges: Iterable[EdgeId] = ()
     edge_attrs: Mapping[EdgeId, Mapping[str, Any]] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        # Freeze every field into owned containers: a generator passed as
+        # ``edges`` would otherwise be consumed on first use, so replaying
+        # the same update into a second store (or retrying after a failed
+        # append) would silently drop every edge.  Plain dicts/tuples (not
+        # MappingProxyType) keep updates picklable for worker processes.
+        object.__setattr__(self, "edges", tuple(self.edges))
+        object.__setattr__(
+            self, "nodes", {n: dict(v) for n, v in self.nodes.items()}
+        )
+        object.__setattr__(
+            self, "static", {n: dict(v) for n, v in self.static.items()}
+        )
+        object.__setattr__(
+            self, "edge_attrs", {e: dict(v) for e, v in self.edge_attrs.items()}
+        )
 
 
 def append_snapshot(graph: TemporalGraph, update: SnapshotUpdate) -> TemporalGraph:
@@ -76,6 +100,28 @@ def append_snapshot(graph: TemporalGraph, update: SnapshotUpdate) -> TemporalGra
                 f"unknown time-varying attributes for {node!r}: {sorted(unknown)}"
             )
 
+    # Attribute *names* are validated for every entry the update carries,
+    # not just first-appearance nodes/edges — values for known entities
+    # are still ignored, but a misspelled name never passes silently.
+    static_name_set = {str(c) for c in graph.static_attrs.col_labels}
+    for node, provided in update.static.items():
+        unknown = set(provided) - static_name_set
+        if unknown:
+            raise UnknownLabelError(
+                f"unknown static attributes for {node!r}: {sorted(unknown)}"
+            )
+    edge_attr_names = (
+        {str(c) for c in graph.edge_attrs.col_labels}
+        if graph.edge_attrs is not None
+        else set()
+    )
+    for edge, provided in update.edge_attrs.items():
+        unknown = set(provided) - edge_attr_names
+        if unknown:
+            raise UnknownLabelError(
+                f"unknown edge attributes for {edge!r}: {sorted(unknown)}"
+            )
+
     edges = list(update.edges)
     for u, v in edges:
         if u not in incoming or v not in incoming:
@@ -94,11 +140,6 @@ def append_snapshot(graph: TemporalGraph, update: SnapshotUpdate) -> TemporalGra
     static_values[: graph.n_nodes] = graph.static_attrs.values
     for i, node in enumerate(new_node_ids):
         provided = dict(update.static.get(node, {}))
-        unknown = set(provided) - {str(c) for c in static_names}
-        if unknown:
-            raise UnknownLabelError(
-                f"unknown static attributes for {node!r}: {sorted(unknown)}"
-            )
         for col, name in enumerate(static_names):
             static_values[graph.n_nodes + i, col] = provided.get(str(name))
     static_attrs = LabeledFrame(all_nodes, static_names, static_values)
@@ -130,11 +171,6 @@ def append_snapshot(graph: TemporalGraph, update: SnapshotUpdate) -> TemporalGra
         attr_values[: graph.n_edges] = graph.edge_attrs.values
         for i, edge in enumerate(new_edge_ids):
             provided = dict(update.edge_attrs.get(edge, {}))
-            unknown = set(provided) - {str(c) for c in names}
-            if unknown:
-                raise UnknownLabelError(
-                    f"unknown edge attributes for {edge!r}: {sorted(unknown)}"
-                )
             for col, name in enumerate(names):
                 attr_values[graph.n_edges + i, col] = provided.get(str(name))
         edge_attr_frame = LabeledFrame(all_edges, names, attr_values)

@@ -46,6 +46,7 @@ __all__ = [
     "ChainEvaluator",
     "ChainStep",
     "event_mask_from",
+    "static_match_mask",
 ]
 
 #: Sentinel tuple code for a key whose tuple never occurs in the graph:
@@ -89,6 +90,58 @@ def event_mask_from(
     if event is EventType.GROWTH:
         return new_mask & ~old_mask
     return old_mask & ~new_mask
+
+
+def static_match_mask(
+    graph: TemporalGraph,
+    entity: EntityKind,
+    attributes: Sequence[str],
+    key: Any,
+    entities: Sequence[Hashable] | None = None,
+) -> np.ndarray:
+    """Per-entity boolean mask: static attribute tuple matches ``key``.
+
+    ``entities`` restricts the mask to a subset of entity ids (in the
+    given order) — the delta path :class:`repro.streaming.ExplorationView`
+    uses to extend its match mask with only the rows a snapshot append
+    introduced, instead of rebuilding over the whole entity set.  With
+    ``entities=None`` the mask covers every row of the entity's presence
+    frame, in row order (what :class:`EventCounter` precomputes).
+    """
+    positions = [graph.static_attrs.col_position(a) for a in tuple(attributes)]
+    values = graph.static_attrs.values
+    tuples = {
+        node: tuple(values[i, p] for p in positions)
+        for i, node in enumerate(graph.node_presence.row_labels)
+    }
+    if entity is EntityKind.NODES:
+        labels = (
+            tuple(entities)
+            if entities is not None
+            else graph.node_presence.row_labels
+        )
+        wanted = tuple(key)
+        return np.fromiter(
+            (tuples[node] == wanted for node in labels),
+            dtype=bool,
+            count=len(labels),
+        )
+    edge_labels = (
+        tuple(entities)
+        if entities is not None
+        else graph.edge_presence.row_labels
+    )
+    source_key, target_key = key
+    source_key, target_key = tuple(source_key), tuple(target_key)
+    return np.fromiter(
+        (
+            _endpoint_entry(tuples, (u, v), u) == source_key
+            and _endpoint_entry(tuples, (u, v), v) == target_key
+            for u, v in edge_labels  # type: ignore[misc]
+        ),
+        dtype=bool,
+        count=len(edge_labels),
+    )
 
 
 def _endpoint_entry(
@@ -163,41 +216,12 @@ class EventCounter:
     # Precomputation
     # ------------------------------------------------------------------
 
-    def _static_node_tuples(self) -> dict[Hashable, tuple[Any, ...]]:
-        positions = [
-            self.graph.static_attrs.col_position(a) for a in self.attributes
-        ]
-        values = self.graph.static_attrs.values
-        return {
-            node: tuple(values[i, p] for p in positions)
-            for i, node in enumerate(self.graph.node_presence.row_labels)
-        }
-
     def _build_match_mask(self) -> np.ndarray | None:
         """Per-entity boolean: does this entity's static tuple match key?"""
         if self.key is None:
             return None
-        tuples = self._static_node_tuples()
-        if self.entity is EntityKind.NODES:
-            wanted = tuple(self.key)
-            return np.fromiter(
-                (
-                    tuples[node] == wanted
-                    for node in self.graph.node_presence.row_labels
-                ),
-                dtype=bool,
-                count=self.graph.n_nodes,
-            )
-        source_key, target_key = self.key
-        source_key, target_key = tuple(source_key), tuple(target_key)
-        return np.fromiter(
-            (
-                _endpoint_entry(tuples, (u, v), u) == source_key
-                and _endpoint_entry(tuples, (u, v), v) == target_key
-                for u, v in self.graph.edge_presence.row_labels  # type: ignore[misc]
-            ),
-            dtype=bool,
-            count=self.graph.n_edges,
+        return static_match_mask(
+            self.graph, self.entity, self.attributes, self.key
         )
 
     def _build_tuple_codes(self) -> None:

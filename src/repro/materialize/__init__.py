@@ -2,5 +2,11 @@
 
 from .incremental import IncrementalStore
 from .store import MaterializedStore, StoreStats
+from .streaming import AggregateTotalsView
 
-__all__ = ["MaterializedStore", "StoreStats", "IncrementalStore"]
+__all__ = [
+    "MaterializedStore",
+    "StoreStats",
+    "IncrementalStore",
+    "AggregateTotalsView",
+]

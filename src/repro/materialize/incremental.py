@@ -4,20 +4,23 @@ T-distributivity (Section 4.3) makes non-distinct union aggregates
 maintainable in O(new time point): when a snapshot is appended, only the
 new point's aggregate must be computed, and the running union total is
 its pointwise sum with the previous total.  :class:`IncrementalStore`
-packages this: it owns the growing graph, per-point aggregates for the
-attribute sets it tracks, and the running totals, updating them all on
-:meth:`append`.
+packages this as a thin wrapper over the streaming substrate: a
+:class:`~repro.streaming.StreamingStore` owns the growing, versioned
+graph, and an :class:`~repro.materialize.streaming.AggregateTotalsView`
+registered on it keeps the per-point aggregates and running totals
+current on every append.
 """
 
 from __future__ import annotations
 
 from collections.abc import Sequence
 
-from ..core import AggregateGraph, TemporalGraph, aggregate
-from ..core.updates import SnapshotUpdate, append_snapshot, split_history
-from ..errors import MaterializationError, UnknownLabelError
+from ..core import AggregateGraph, TemporalGraph
+from ..core.updates import SnapshotUpdate, split_history
 from ..obs.metrics import get_metrics
 from ..obs.trace import trace_span
+from ..streaming.store import StreamingStore
+from .streaming import AggregateTotalsView
 
 __all__ = ["IncrementalStore"]
 
@@ -38,29 +41,8 @@ class IncrementalStore:
     def __init__(
         self, graph: TemporalGraph, tracked: Sequence[Sequence[str]]
     ) -> None:
-        if not graph.timeline.labels:
-            # Timeline itself rejects empty label sets, but graph-like
-            # objects from other substrates may not; fail from the GT003
-            # taxonomy instead of a bare IndexError on the first total.
-            raise MaterializationError(
-                "cannot build an IncrementalStore over an empty timeline"
-            )
-        self._graph = graph
-        self._tracked = [tuple(attrs) for attrs in tracked]
-        if len(set(self._tracked)) != len(self._tracked):
-            raise MaterializationError("duplicate tracked attribute sets")
-        self._points: dict[tuple[str, ...], list[AggregateGraph]] = {}
-        self._totals: dict[tuple[str, ...], AggregateGraph] = {}
-        for attrs in self._tracked:
-            points = [
-                aggregate(graph, list(attrs), distinct=False, times=[t])
-                for t in graph.timeline.labels
-            ]
-            self._points[attrs] = points
-            total = points[0]
-            for point in points[1:]:
-                total = total.combine(point)
-            self._totals[attrs] = total
+        self._view = AggregateTotalsView(tracked)
+        self._store = StreamingStore(graph, views=[self._view])
 
     @classmethod
     def from_history(
@@ -84,11 +66,16 @@ class IncrementalStore:
     @property
     def graph(self) -> TemporalGraph:
         """The current graph (replaced, never mutated, on append)."""
-        return self._graph
+        return self._store.graph
+
+    @property
+    def versioned(self) -> StreamingStore:
+        """The underlying versioned store (pinnable reads, hooks)."""
+        return self._store
 
     @property
     def tracked(self) -> tuple[tuple[str, ...], ...]:
-        return tuple(self._tracked)
+        return self._view.tracked
 
     def append(self, update: SnapshotUpdate) -> TemporalGraph:
         """Extend the graph by one snapshot and refresh all aggregates.
@@ -98,32 +85,22 @@ class IncrementalStore:
         Returns the new graph.
         """
         with trace_span("materialize.append", time=update.time):
-            self._graph = append_snapshot(self._graph, update)
-            metrics = get_metrics()
-            metrics.inc("materialize.appends")
-            for attrs in self._tracked:
-                point = aggregate(
-                    self._graph, list(attrs), distinct=False, times=[update.time]
-                )
-                self._points[attrs].append(point)
-                self._totals[attrs] = self._totals[attrs].combine(point)
-                metrics.inc("materialize.incremental_updates")
-        return self._graph
+            get_metrics().inc("materialize.appends")
+            self._store.append_snapshot(update)
+        return self._store.graph
 
     def timepoint_aggregate(
         self, attributes: Sequence[str], index: int
     ) -> AggregateGraph:
-        """The materialized aggregate of the ``index``-th time point."""
-        return self._points[self._key(attributes)][index]
+        """The materialized aggregate of the ``index``-th time point.
+
+        ``index`` follows Python sequence semantics: ``-1`` is the
+        latest point, ``-len(timeline)`` the first.  Out-of-range
+        indices raise :class:`~repro.errors.MaterializationError` (they
+        used to leak a bare ``IndexError``).
+        """
+        return self._view.timepoint_aggregate(attributes, index)
 
     def union_total(self, attributes: Sequence[str]) -> AggregateGraph:
         """The running union(ALL) aggregate over the whole timeline."""
-        return self._totals[self._key(attributes)]
-
-    def _key(self, attributes: Sequence[str]) -> tuple[str, ...]:
-        key = tuple(attributes)
-        if key not in self._points:
-            raise UnknownLabelError(
-                f"attribute set {key!r} is not tracked; tracked: {self._tracked!r}"
-            )
-        return key
+        return self._view.union_total(attributes)

@@ -1,0 +1,97 @@
+"""Aggregate totals as a delta-maintained streaming view.
+
+The T-distributivity maintenance (Section 4.3) that used to live inside
+:class:`IncrementalStore` directly, repackaged as a
+:class:`~repro.streaming.StreamingView` so it rides the same
+append/rebuild contract as the evolution and exploration views: per
+append, only the new point is aggregated and each running union total
+is one pointwise sum.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+from ..core import AggregateGraph, TemporalGraph, aggregate
+from ..core.updates import SnapshotUpdate
+from ..errors import MaterializationError, UnknownLabelError
+from ..obs.metrics import get_metrics
+from ..streaming.views import StreamingView
+
+__all__ = ["AggregateTotalsView"]
+
+
+class AggregateTotalsView(StreamingView):
+    """Per-point non-distinct union aggregates plus running totals.
+
+    Parameters
+    ----------
+    tracked:
+        Attribute sets whose union(ALL) aggregates are kept current;
+        duplicates are rejected.
+    """
+
+    def __init__(self, tracked: Sequence[Sequence[str]]) -> None:
+        self._tracked = [tuple(attrs) for attrs in tracked]
+        if len(set(self._tracked)) != len(self._tracked):
+            raise MaterializationError("duplicate tracked attribute sets")
+        self._points: dict[tuple[str, ...], list[AggregateGraph]] = {}
+        self._totals: dict[tuple[str, ...], AggregateGraph] = {}
+
+    @property
+    def tracked(self) -> tuple[tuple[str, ...], ...]:
+        return tuple(self._tracked)
+
+    def rebuild(self, graph: TemporalGraph) -> None:
+        self._points = {}
+        self._totals = {}
+        for attrs in self._tracked:
+            points = [
+                aggregate(graph, list(attrs), distinct=False, times=[t])
+                for t in graph.timeline.labels
+            ]
+            self._points[attrs] = points
+            total = points[0]
+            for point in points[1:]:
+                total = total.combine(point)
+            self._totals[attrs] = total
+
+    def extend(self, graph: TemporalGraph, update: SnapshotUpdate) -> None:
+        metrics = get_metrics()
+        for attrs in self._tracked:
+            point = aggregate(
+                graph, list(attrs), distinct=False, times=[update.time]
+            )
+            self._points[attrs].append(point)
+            self._totals[attrs] = self._totals[attrs].combine(point)
+            metrics.inc("materialize.incremental_updates")
+
+    def timepoint_aggregate(
+        self, attributes: Sequence[str], index: int
+    ) -> AggregateGraph:
+        """The materialized aggregate of the ``index``-th time point.
+
+        ``index`` follows Python sequence semantics: negative values
+        count from the end of the timeline (``-1`` is the latest
+        point).  Out-of-range indices — in either direction — raise
+        :class:`~repro.errors.MaterializationError`.
+        """
+        points = self._points[self._key(attributes)]
+        if not -len(points) <= index < len(points):
+            raise MaterializationError(
+                f"time-point index {index} out of range for a timeline of "
+                f"{len(points)} points (valid: {-len(points)}..{len(points) - 1})"
+            )
+        return points[index]
+
+    def union_total(self, attributes: Sequence[str]) -> AggregateGraph:
+        """The running union(ALL) aggregate over the whole timeline."""
+        return self._totals[self._key(attributes)]
+
+    def _key(self, attributes: Sequence[str]) -> tuple[str, ...]:
+        key = tuple(attributes)
+        if key not in self._points:
+            raise UnknownLabelError(
+                f"attribute set {key!r} is not tracked; tracked: {self._tracked!r}"
+            )
+        return key

@@ -39,10 +39,12 @@ from .exploration import (
     explore_groups,
     suggest_threshold,
 )
+from .core.updates import SnapshotUpdate
 from .obs.metrics import get_metrics
 from .obs.trace import Span, get_tracer, trace_span
 from .olap import TemporalGraphCube
 from .parallel import parallelism_scope, resolve_parallelism
+from .streaming import GraphVersion, StreamEvent, StreamingStore
 from .errors import UnknownLabelError, ValidationError
 
 __all__ = ["GraphTempoSession"]
@@ -90,6 +92,7 @@ class GraphTempoSession:
         self.parallelism: int | None = (
             None if parallelism is None else resolve_parallelism(parallelism)
         )
+        self._stream: StreamingStore | None = None
 
     def _parallel_scope(self) -> Any:
         """The scope every session operation resolves parallelism in."""
@@ -152,6 +155,54 @@ class GraphTempoSession:
             else:
                 raise UnknownLabelError(f"unknown time point or unit: {label!r}")
         return tuple(dict.fromkeys(resolved))
+
+    # ------------------------------------------------------------------
+    # Streaming ingestion
+    # ------------------------------------------------------------------
+
+    @property
+    def stream(self) -> StreamingStore:
+        """The session's streaming store, created on first use.
+
+        The store's invalidation hook is what keeps the session honest:
+        every published version replaces :attr:`graph` and rebuilds the
+        aggregation cube, so cached cuboids can never serve a stale
+        timeline (the cache-invalidation seam of ROADMAP item 3).
+        Readers needing a stable graph while appends land should
+        ``session.stream.pin()`` a version instead of holding
+        :attr:`graph`.
+        """
+        if self._stream is None:
+            store = StreamingStore(self.graph)
+            store.on_append(self._refresh_from)
+            self._stream = store
+        return self._stream
+
+    def _refresh_from(self, version: GraphVersion) -> None:
+        """Invalidation hook: adopt a published version."""
+        self.graph = version.graph
+        self.cube = TemporalGraphCube(self.graph, hierarchy=self.hierarchy)
+        get_metrics().inc("streaming.session_refreshes")
+
+    def append(self, update: SnapshotUpdate) -> "GraphTempoSession":
+        """Append one snapshot to the session graph (chainable).
+
+        Routed through the streaming store, so registered views stay
+        current and the session cube is invalidated per append.
+        """
+        with trace_span("session.append", time=update.time):
+            self.stream.append_snapshot(update)
+        return self
+
+    def ingest(self, events: Iterable[StreamEvent]) -> "GraphTempoSession":
+        """Ingest a flat node/edge event stream (chainable).
+
+        Events are batched into one snapshot per time point (first-seen
+        order) and appended through the streaming store.
+        """
+        with trace_span("session.ingest"):
+            self.stream.update(events)
+        return self
 
     # ------------------------------------------------------------------
     # Operators

@@ -1,0 +1,120 @@
+"""Node/edge events and their batching into snapshot updates.
+
+The ingestion surface of :mod:`repro.streaming` is a flat stream of
+per-entity events (one author published, one co-authorship formed) in
+the style of openDG's ``from_events``: callers do not have to assemble
+whole snapshots themselves.  :func:`batch_events` groups a stream by
+time point — first-seen order, so out-of-timeline-order streams fail in
+``append_snapshot`` rather than being silently reordered — and merges
+the events of each point into one :class:`~repro.core.SnapshotUpdate`.
+
+Events are frozen on construction (like the updates they batch into),
+so an event built from a shared mutable mapping replays identically.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Hashable, Iterable, Mapping
+from dataclasses import dataclass, field
+from typing import Any, Union
+
+from ..core.graph import EdgeId, NodeId
+from ..core.updates import SnapshotUpdate
+from ..errors import ValidationError
+
+__all__ = ["NodeEvent", "EdgeEvent", "StreamEvent", "batch_events"]
+
+
+@dataclass(frozen=True)
+class NodeEvent:
+    """One node's presence at one time point.
+
+    ``attrs`` carries the node's time-varying attribute values at the
+    point; ``static`` its static attribute values (used on first
+    appearance, name-validated always).  Events for the same node at the
+    same time merge: later events win per attribute name.
+    """
+
+    time: Hashable
+    node: NodeId
+    attrs: Mapping[str, Any] = field(default_factory=dict)
+    static: Mapping[str, Any] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "attrs", dict(self.attrs))
+        object.__setattr__(self, "static", dict(self.static))
+
+
+@dataclass(frozen=True)
+class EdgeEvent:
+    """One directed edge's presence at one time point.
+
+    Endpoints not covered by a :class:`NodeEvent` at the same time get a
+    bare presence entry (no attribute values) in the batched update, so
+    an edge-only stream is still a valid snapshot.
+    """
+
+    time: Hashable
+    edge: EdgeId
+    attrs: Mapping[str, Any] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        source, target = self.edge
+        object.__setattr__(self, "edge", (source, target))
+        object.__setattr__(self, "attrs", dict(self.attrs))
+
+
+StreamEvent = Union[NodeEvent, EdgeEvent]
+
+
+def batch_events(events: Iterable[StreamEvent]) -> tuple[SnapshotUpdate, ...]:
+    """Group an event stream into one :class:`SnapshotUpdate` per time.
+
+    Time points keep first-seen order (the order appends will run in);
+    within a point, node events merge their attribute mappings (later
+    events win per name), edges deduplicate keeping first-seen order,
+    and edge endpoints without a node event are added as bare presence
+    entries.  Anything that is not a :class:`NodeEvent` or
+    :class:`EdgeEvent` raises :class:`~repro.errors.ValidationError`.
+    """
+    order: list[Hashable] = []
+    nodes: dict[Hashable, dict[NodeId, dict[str, Any]]] = {}
+    static: dict[Hashable, dict[NodeId, dict[str, Any]]] = {}
+    edges: dict[Hashable, dict[EdgeId, None]] = {}
+    edge_attrs: dict[Hashable, dict[EdgeId, dict[str, Any]]] = {}
+    for event in events:
+        if not isinstance(event, (NodeEvent, EdgeEvent)):
+            raise ValidationError(
+                f"unknown stream event type: {type(event).__name__!r}"
+            )
+        time = event.time
+        if time not in nodes:
+            order.append(time)
+            nodes[time] = {}
+            static[time] = {}
+            edges[time] = {}
+            edge_attrs[time] = {}
+        if isinstance(event, NodeEvent):
+            nodes[time].setdefault(event.node, {}).update(event.attrs)
+            if event.static:
+                static[time].setdefault(event.node, {}).update(event.static)
+        else:
+            edges[time].setdefault(event.edge, None)
+            if event.attrs:
+                edge_attrs[time].setdefault(event.edge, {}).update(event.attrs)
+    updates = []
+    for time in order:
+        point_nodes = nodes[time]
+        for source, target in edges[time]:
+            point_nodes.setdefault(source, {})
+            point_nodes.setdefault(target, {})
+        updates.append(
+            SnapshotUpdate(
+                time=time,
+                nodes=point_nodes,
+                static=static[time],
+                edges=tuple(edges[time]),
+                edge_attrs=edge_attrs[time],
+            )
+        )
+    return tuple(updates)

@@ -38,10 +38,13 @@ from ..core import (
     union,
 )
 from ..core.evolution import EvolutionWeights
+from ..core.updates import split_history
 from ..errors import ConfigurationError
 from ..exploration.events import ChainEvaluator, EntityKind, EventCounter, EventType
 from ..exploration.lattice import ExtendSide, Semantics, Side
-from .generators import random_time_sets
+from ..materialize.streaming import AggregateTotalsView
+from ..streaming import EvolutionView, ExplorationView, StreamingStore
+from .generators import graph_to_maps, random_time_sets
 
 __all__ = ["Law", "register_law", "law_registry", "get_laws"]
 
@@ -651,3 +654,143 @@ def _lint_deterministic_readonly(
 ) -> str | None:
     del graph, rng  # the analyzer's input is the source tree itself
     return _lint_determinism_verdict()
+
+
+# ----------------------------------------------------------------------
+# Streaming replay identity (ROADMAP item 1)
+# ----------------------------------------------------------------------
+
+
+@register_law(
+    "streaming-replay-identity",
+    "replaying split_history through a StreamingStore rebuilds the graph "
+    "bit-exactly, publishes one monotonic version per append, and keeps "
+    "delta-maintained totals equal to the direct aggregate",
+    hostile_safe=False,
+)
+def _streaming_replay_identity(
+    graph: TemporalGraph, rng: np.random.Generator
+) -> str | None:
+    attrs = tuple(_some_attributes(rng, graph))
+    initial, updates = split_history(graph)
+    totals = AggregateTotalsView([attrs])
+    store = StreamingStore(initial, views=[totals])
+    fired: list[int] = []
+    store.on_append(lambda version: fired.append(version.version))
+    for update in updates:
+        store.append_snapshot(update)
+    if graph_to_maps(store.graph) != graph_to_maps(graph):
+        return "replayed graph diverges from the original"
+    if store.version != len(updates) or fired != list(range(1, len(updates) + 1)):
+        return (
+            f"append versions not monotonic: latest {store.version}, "
+            f"hooks saw {fired!r}"
+        )
+    direct = aggregate(graph, list(attrs), distinct=False)
+    problems = totals.union_total(attrs).diff(direct)
+    if problems:
+        return f"delta-maintained union total diverges: {problems[0]}"
+    # The same frozen updates must replay a second time verbatim — the
+    # regression the SnapshotUpdate freeze exists for.
+    second = StreamingStore(initial)
+    for update in updates:
+        second.append_snapshot(update)
+    if graph_to_maps(second.graph) != graph_to_maps(store.graph):
+        return "second replay of the same updates diverges (updates not frozen?)"
+    return None
+
+
+@register_law(
+    "streaming-evolution-delta",
+    "an EvolutionView extended one appended point at a time equals the "
+    "from-scratch evolution aggregate over the same windows",
+    hostile_safe=False,
+)
+def _streaming_evolution_delta(
+    graph: TemporalGraph, rng: np.random.Generator
+) -> str | None:
+    labels = graph.timeline.labels
+    if len(labels) < 2:
+        return None
+    attrs = _some_attributes(rng, graph)
+    split = int(rng.integers(1, len(labels)))
+    initial, updates = split_history(graph)
+    store = StreamingStore(initial)
+    for update in updates[: split - 1]:
+        store.append_snapshot(update)
+    view = EvolutionView(attrs)
+    store.register_view(view)
+    for update in updates[split - 1 :]:
+        store.append_snapshot(update)
+    direct = aggregate_evolution(graph, labels[:split], labels[split:], attrs)
+    problems = view.current().diff(direct)
+    if problems:
+        return (
+            f"delta-maintained evolution diverges at split {split}: "
+            f"{problems[0]}"
+        )
+    return None
+
+
+@register_law(
+    "streaming-exploration-delta",
+    "an ExplorationView grown one OR/AND per appended point matches "
+    "ChainEvaluator's chain over the final graph, early masks padded for "
+    "entities that did not exist yet",
+    hostile_safe=False,
+)
+def _streaming_exploration_delta(
+    graph: TemporalGraph, rng: np.random.Generator
+) -> str | None:
+    labels = graph.timeline.labels
+    if len(labels) < 2:
+        return None
+    event = tuple(EventType)[int(rng.integers(3))]
+    semantics = Semantics.UNION if rng.integers(2) else Semantics.INTERSECTION
+    entity = EntityKind.EDGES if rng.integers(2) else EntityKind.NODES
+    static_names = [a for a in graph.attribute_names if graph.is_static(a)]
+    attrs: list[str] = []
+    key = None
+    if static_names and rng.integers(2):
+        attrs = [static_names[int(rng.integers(len(static_names)))]]
+        if rng.integers(2):
+            column = graph.static_attrs.column(attrs[0])
+            value = column[int(rng.integers(len(column)))]
+            key = (
+                ((value,), (value,))
+                if entity is EntityKind.EDGES
+                else (value,)
+            )
+    reference = int(rng.integers(0, len(labels) - 1))
+    initial, updates = split_history(graph)
+    store = StreamingStore(initial)
+    for update in updates[:reference]:
+        store.append_snapshot(update)
+    view = ExplorationView(
+        event, semantics, entity, attributes=attrs, key=key
+    )
+    store.register_view(view)
+    for update in updates[reference:]:
+        store.append_snapshot(update)
+    counter = EventCounter(store.graph, entity, attrs, key)
+    chain = list(
+        ChainEvaluator(counter, event).chain(
+            reference, ExtendSide.NEW, semantics
+        )
+    )
+    steps = view.steps()
+    if len(chain) != len(steps):
+        return f"step counts diverge: {len(chain)} != {len(steps)}"
+    for i, (expected, got) in enumerate(zip(chain, steps)):
+        if (expected.old, expected.new) != (got.old, got.new):
+            return f"step {i} sides diverge: {(got.old, got.new)!r}"
+        if expected.count != got.count:
+            return (
+                f"step {i} counts diverge: expected {expected.count}, "
+                f"view kept {got.count}"
+            )
+        padded = np.zeros(expected.mask.shape[0], dtype=bool)
+        padded[: got.mask.shape[0]] = got.mask
+        if not np.array_equal(expected.mask, padded):
+            return f"step {i} masks diverge"
+    return None

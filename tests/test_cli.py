@@ -116,6 +116,12 @@ class TestExtendedCommands:
         out = capsys.readouterr().out
         assert "[info] size:" in out
 
+    def test_stream_command(self, capsys):
+        assert main(["stream", "--scale", "0.01"]) == 0
+        out = capsys.readouterr().out
+        assert "appends/s" in out
+        assert "replay identity holds" in out
+
     def test_timeseries_command(self, capsys):
         assert main(["timeseries", "--scale", "0.02"]) == 0
         out = capsys.readouterr().out

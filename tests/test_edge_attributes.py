@@ -109,6 +109,18 @@ class TestPropagation:
         with pytest.raises(KeyError):
             append_snapshot(weighted_graph, update)
 
+    def test_append_snapshot_unknown_attr_for_known_edge(self, weighted_graph):
+        # Regression: names used to be validated only for first-appearance
+        # edges; a misspelled name on a known edge passed silently.
+        update = SnapshotUpdate(
+            time="t2",
+            nodes={"a": {}, "b": {}},
+            edges=[("a", "b")],
+            edge_attrs={("a", "b"): {"venues": 7}},
+        )
+        with pytest.raises(KeyError):
+            append_snapshot(weighted_graph, update)
+
 
 class TestEdgeMeasure:
     def test_sum_distinct(self, weighted_graph):

@@ -181,3 +181,38 @@ class TestIncrementalStoreEmptyTimeline:
         stub = SimpleNamespace(timeline=SimpleNamespace(labels=()))
         with pytest.raises(ValueError):
             IncrementalStore(stub, [])
+
+class TestIncrementalTimepointAccess:
+    @pytest.fixture()
+    def inc_store(self, paper_graph):
+        return IncrementalStore(paper_graph, [("gender",)])
+
+    def test_negative_index_counts_from_end(self, inc_store, paper_graph):
+        """Documented semantics: the index is a Python sequence index
+        into the timeline, so ``-1`` is the latest point."""
+        last = inc_store.timepoint_aggregate(["gender"], -1)
+        direct = aggregate(
+            paper_graph, ["gender"], distinct=False, times=["t2"]
+        )
+        assert dict(last.node_weights) == dict(direct.node_weights)
+        assert dict(
+            inc_store.timepoint_aggregate(["gender"], -3).node_weights
+        ) == dict(
+            inc_store.timepoint_aggregate(["gender"], 0).node_weights
+        )
+
+    @pytest.mark.parametrize("index", [3, -4, 99])
+    def test_out_of_range_raises_from_taxonomy(self, inc_store, index):
+        """Regression: an out-of-range index used to escape as a bare
+        IndexError from the list access."""
+        with pytest.raises(MaterializationError, match="out of range"):
+            inc_store.timepoint_aggregate(["gender"], index)
+
+    def test_error_names_the_valid_range(self, inc_store):
+        with pytest.raises(MaterializationError, match=r"-3\.\.2"):
+            inc_store.timepoint_aggregate(["gender"], 3)
+
+    def test_versioned_store_exposed(self, inc_store, paper_graph):
+        versioned = inc_store.versioned
+        assert versioned.version == 0
+        assert versioned.graph is paper_graph

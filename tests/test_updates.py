@@ -1,6 +1,7 @@
 """Tests for appending snapshots and incremental materialization."""
 
 import pytest
+from hypothesis import given, settings
 
 from repro.core import (
     SnapshotUpdate,
@@ -10,9 +11,14 @@ from repro.core import (
     split_history,
     union,
 )
-from repro.errors import UnknownLabelError
+from repro.errors import UnknownLabelError, ValidationError
 from repro.materialize import IncrementalStore
-from repro.testing import assert_same_graph
+from repro.testing import (
+    GraphSpec,
+    assert_same_graph,
+    random_temporal_graph,
+    temporal_graphs,
+)
 
 
 def make_update(time="t3"):
@@ -215,3 +221,105 @@ class TestIncrementalStore:
         assert store.graph is paper_graph
         extended = store.append(make_update())
         assert store.graph is extended
+
+
+class TestSnapshotUpdateFrozen:
+    def test_generator_edges_survive_replay(self, paper_graph):
+        """Regression: edges passed as a generator used to be consumed on
+        the first append, silently dropping every edge from a replay."""
+        update = SnapshotUpdate(
+            time="t3",
+            nodes={"u2": {"publications": 2}, "u5": {"publications": 1}},
+            edges=(e for e in [("u5", "u2")]),
+        )
+        first = append_snapshot(paper_graph, update)
+        second = append_snapshot(paper_graph, update)
+        assert first.edge_times(("u5", "u2")) == ("t2", "t3")
+        assert_same_graph(first, second)
+
+    def test_edges_frozen_to_tuple(self):
+        update = SnapshotUpdate(time="t0", nodes={"a": {}}, edges=iter(()))
+        assert update.edges == ()
+        assert isinstance(update.edges, tuple)
+
+    def test_mappings_are_owned_copies(self):
+        nodes = {"a": {"publications": 1}}
+        static = {"a": {"gender": "f"}}
+        update = SnapshotUpdate(time="t0", nodes=nodes, static=static)
+        nodes["b"] = {}
+        static["a"]["gender"] = "m"
+        assert set(update.nodes) == {"a"}
+        assert update.static["a"]["gender"] == "f"
+
+    def test_update_is_picklable(self):
+        import pickle
+
+        update = make_update()
+        clone = pickle.loads(pickle.dumps(update))
+        assert clone == update
+
+
+class TestUniformAttributeValidation:
+    def test_unknown_static_name_for_known_node(self, paper_graph):
+        """Regression: unknown static names were only validated for
+        first-appearance nodes; for known nodes they passed silently."""
+        update = SnapshotUpdate(
+            time="t3", nodes={"u2": {}}, static={"u2": {"height": 180}}
+        )
+        with pytest.raises(UnknownLabelError):
+            append_snapshot(paper_graph, update)
+
+    def test_known_static_name_for_known_node_ignored(self, paper_graph):
+        # Valid names on known nodes stay accepted (values ignored:
+        # static attributes cannot change).
+        update = SnapshotUpdate(
+            time="t3", nodes={"u2": {}}, static={"u2": {"gender": "m"}}
+        )
+        extended = append_snapshot(paper_graph, update)
+        assert extended.attribute_value("u2", "gender") == "f"
+
+    def test_edge_attrs_rejected_without_edge_attr_frame(self, paper_graph):
+        # paper_graph has no edge attributes: any supplied name is unknown.
+        update = SnapshotUpdate(
+            time="t3",
+            nodes={"u2": {}, "u5": {}},
+            edges=[("u5", "u2")],
+            edge_attrs={("u5", "u2"): {"papers": 1}},
+        )
+        with pytest.raises(UnknownLabelError):
+            append_snapshot(paper_graph, update)
+
+
+class TestReplayRoundTripProperties:
+    @settings(max_examples=40, deadline=None)
+    @given(graph=temporal_graphs())
+    def test_split_replay_identity(self, graph):
+        """split_history ∘ replay == identity, for arbitrary well-formed
+        graphs; replaying the same updates twice stays identical (the
+        frozen-update guarantee)."""
+        initial, updates = split_history(graph)
+        first = initial
+        for update in updates:
+            first = append_snapshot(first, update)
+        assert_same_graph(first, graph)
+        second = initial
+        for update in updates:
+            second = append_snapshot(second, update)
+        assert_same_graph(second, first)
+
+    @pytest.mark.parametrize("seed", range(6))
+    def test_hostile_graphs_replay_or_reject(self, seed):
+        """Dangling-edge (hostile) graphs never replay into something
+        different: the replay either reconstructs the graph or fails
+        from the taxonomy when a snapshot references a ghost endpoint."""
+        graph = random_temporal_graph(
+            GraphSpec(n_times=4, n_nodes=8, dangling_edges=2), seed=seed
+        )
+        initial, updates = split_history(graph)
+        rebuilt = initial
+        try:
+            for update in updates:
+                rebuilt = append_snapshot(rebuilt, update)
+        except ValidationError:
+            return
+        assert_same_graph(rebuilt, graph)
