@@ -27,6 +27,8 @@ import pytest
 
 from bench_parallel_speedup import GATE, GATE_MIN_CPUS
 from bench_parallel_speedup import main as parallel_bench_main
+from bench_serving import GATE as SERVING_GATE
+from bench_serving import main as serving_bench_main
 from bench_streaming import GATE as STREAMING_GATE
 from bench_streaming import main as streaming_bench_main
 
@@ -156,6 +158,34 @@ class TestStreamingBaseline:
             )
 
 
+class TestServingBaseline:
+    def test_structure(self, serving_baseline):
+        meta = serving_baseline["meta"]
+        assert not meta["smoke"]
+        assert meta["gate"] == SERVING_GATE
+        assert meta["n_queries"] > 0
+        modes = {row["mode"] for row in serving_baseline["arms"]}
+        assert modes == {"cached", "uncached"}
+        for row in serving_baseline["arms"]:
+            assert row["requests"] == meta["requests"]
+            assert row["qps"] > 0
+            assert row["p50_ms"] <= row["p99_ms"]
+        by_mode = {row["mode"]: row for row in serving_baseline["arms"]}
+        assert _recomputes(
+            serving_baseline["speedup"],
+            by_mode["cached"]["qps"],
+            by_mode["uncached"]["qps"],
+        )
+
+    def test_cached_arm_clears_qps_gate(
+        self, serving_baseline, bench_tolerance
+    ):
+        gate = serving_baseline["meta"]["gate"]
+        assert serving_baseline["speedup"] >= gate * (1 - bench_tolerance), (
+            "cached serving regressed below the QPS gate"
+        )
+
+
 class TestLiveSmoke:
     def test_parallel_bench_smoke_run(self, tmp_path):
         """End-to-end smoke run: parity asserts fire on *this* machine."""
@@ -180,3 +210,17 @@ class TestLiveSmoke:
             "evolution",
             "exploration",
         }
+
+    def test_serving_bench_smoke_run(self, tmp_path):
+        """End-to-end smoke run: the served-vs-naive parity asserts fire
+        on *this* machine before either arm is timed."""
+        output = tmp_path / "BENCH_serving.json"
+        exit_code = serving_bench_main(["--smoke", "--output", str(output)])
+        assert exit_code == 0
+        report = json.loads(output.read_text(encoding="utf-8"))
+        assert report["meta"]["smoke"] is True
+        assert {row["mode"] for row in report["arms"]} == {
+            "cached",
+            "uncached",
+        }
+        assert report["speedup"] > 0

@@ -1,0 +1,184 @@
+"""Serving benchmark: cached QueryServer vs. naive per-request evaluation.
+
+Drives the same mixed query workload (:func:`repro.serving.mixed_queries`
+— ALL/DIST aggregates, commuted duplicates the normalizer folds, an
+evolution, raw operators) through two arms built on one driver
+(:func:`repro.serving.run_workload`):
+
+* **cached** — a :class:`repro.serving.QueryServer` with its result
+  cache and cube routing enabled: the serving stack this PR adds;
+* **uncached** — a naive adapter that parses and evaluates every request
+  from scratch with :func:`repro.query.run_query`: the pre-serving
+  baseline.
+
+Before anything is timed, every query in the mix is served twice (cold,
+then from cache) and checked bit-identical to its naive evaluation, so
+the QPS gap can never come from divergent answers.  Sustained QPS and
+the latency distribution (p50/p99) are reported for both arms.
+
+Results land in ``BENCH_serving.json``.  Run directly::
+
+    PYTHONPATH=src python benchmarks/bench_serving.py [--smoke]
+
+The gate (cached arm >= {GATE}x the uncached arm's QPS on the full-size
+run) encodes the point of the subsystem: answering from the
+version-keyed result cache must beat re-evaluating, and the margin grows
+with graph size since evaluation is O(graph) while a hit is O(1).
+``--smoke`` shrinks the workload for CI; the checked-in JSON comes from
+a full run.  This file is a script, not a pytest module — pytest
+collects nothing from it.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import platform
+import sys
+from pathlib import Path
+
+import numpy as np
+
+from repro.core import TemporalGraph, presence_signature
+from repro.datasets import generate_dblp
+from repro.query import run_query
+from repro.serving import QueryServer, mixed_queries, run_workload
+
+#: Minimum cached-over-uncached QPS ratio on the full-size run.  A warm
+#: cache answers the whole mix from lookups, so the ratio tracks graph
+#: size; dblp @ 0.05 lands well clear of 2x.
+GATE = 2.0
+
+ATTRS = ["gender", "publications"]
+
+
+def check_parity(graph, queries):
+    """Serve every query cold and cached; both must match naive
+    evaluation bit-exactly before either arm is timed."""
+    with QueryServer(graph) as server:
+        for text in queries:
+            naive = run_query(graph, text)
+            for attempt in ("cold", "cached"):
+                served = server.serve(text).result
+                if isinstance(served, TemporalGraph):
+                    assert presence_signature(served) == presence_signature(
+                        naive
+                    ), f"{attempt} serve of {text!r} diverged from naive"
+                else:
+                    problems = served.diff(naive)
+                    assert not problems, (
+                        f"{attempt} serve of {text!r} diverged: {problems[0]}"
+                    )
+
+
+def bench_arms(graph, queries, requests, threads, repeats):
+    """QPS / latency per arm, best-of-``repeats`` runs through the same
+    driver.  The cached server persists across repeats (steady-state
+    serving); the naive arm has no state to persist."""
+    rows = []
+    with QueryServer(graph) as server:
+        arms = (
+            ("cached", server.serve),
+            ("uncached", lambda text: run_query(graph, text)),
+        )
+        for mode, execute in arms:
+            best = None
+            for _ in range(repeats):
+                report = run_workload(
+                    execute, queries, requests=requests, threads=threads
+                )
+                if best is None or report.qps > best.qps:
+                    best = report
+            rows.append(
+                {
+                    "mode": mode,
+                    "requests": best.requests,
+                    "threads": best.threads,
+                    "duration_s": best.duration_s,
+                    "qps": best.qps,
+                    "mean_ms": best.mean_ms,
+                    "p50_ms": best.p50_ms,
+                    "p99_ms": best.p99_ms,
+                }
+            )
+            print(f"  {mode:>9}: {best.describe()}")
+    return rows
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help="tiny dataset and one repeat (CI); waives the QPS gate",
+    )
+    parser.add_argument(
+        "--output",
+        type=Path,
+        default=Path(__file__).resolve().parent.parent
+        / "BENCH_serving.json",
+        help="where to write the JSON report",
+    )
+    parser.add_argument("--repeats", type=int, default=None)
+    parser.add_argument("--scale", type=float, default=None)
+    parser.add_argument("--requests", type=int, default=None)
+    parser.add_argument("--threads", type=int, default=4)
+    args = parser.parse_args(argv)
+    args.output = args.output.expanduser().resolve()
+
+    if args.smoke:
+        scale = args.scale or 0.01
+        repeats = args.repeats or 1
+        requests = args.requests or 120
+    else:
+        scale = args.scale or 0.05
+        repeats = args.repeats or 3
+        requests = args.requests or 1200
+
+    graph = generate_dblp(scale=scale)
+    queries = mixed_queries(graph, ATTRS)
+    print(
+        f"serving (dblp @ scale {scale}: {graph.n_nodes} nodes, "
+        f"{len(queries)} queries x {requests} requests, "
+        f"{args.threads} threads):"
+    )
+    check_parity(graph, queries)
+    rows = bench_arms(graph, queries, requests, args.threads, repeats)
+    by_mode = {row["mode"]: row for row in rows}
+    ratio = by_mode["cached"]["qps"] / by_mode["uncached"]["qps"]
+    print(f"  cached/uncached QPS ratio: {ratio:.2f}x (gate {GATE}x)")
+
+    report = {
+        "meta": {
+            "smoke": args.smoke,
+            "repeats": repeats,
+            "scale": scale,
+            "dataset": "dblp",
+            "requests": requests,
+            "threads": args.threads,
+            "n_queries": len(queries),
+            "python": platform.python_version(),
+            "numpy": np.__version__,
+            "gate": GATE,
+        },
+        "arms": rows,
+        "speedup": ratio,
+    }
+    args.output.write_text(json.dumps(report, indent=2) + "\n")
+    print(f"wrote {args.output}")
+
+    if args.smoke:
+        # Smoke graphs are too small for serving to pay off reliably;
+        # only the full-size run says anything about the gate.
+        return 0
+    if ratio < GATE:
+        print(
+            f"WARNING: cached arm is {ratio:.2f}x the uncached arm, "
+            f"below the {GATE}x gate"
+        )
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -98,6 +98,11 @@ def streaming_baseline() -> dict:
 
 
 @pytest.fixture(scope="session")
+def serving_baseline() -> dict:
+    return load_baseline("BENCH_serving.json")
+
+
+@pytest.fixture(scope="session")
 def dblp():
     """The DBLP-like graph at the benchmark scale."""
     return generate_dblp(scale=BENCH_SCALE, seed=7 + TEST_SEED)

@@ -28,6 +28,7 @@ from .core import (
     project,
     union,
 )
+from .serving import QueryServer, Served
 from .session import GraphTempoSession
 from .streaming import (
     EdgeEvent,
@@ -59,6 +60,8 @@ __all__ = [
     "filter_appearances",
     "attribute_predicate",
     "GraphTempoSession",
+    "QueryServer",
+    "Served",
     "StreamingStore",
     "GraphVersion",
     "NodeEvent",

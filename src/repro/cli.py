@@ -355,6 +355,29 @@ def _run_stream(args: argparse.Namespace) -> None:
     )
 
 
+def _run_serve(args: argparse.Namespace) -> None:
+    from .obs.metrics import get_metrics
+    from .serving import QueryServer, mixed_queries, run_workload
+
+    graph = _load(args.dataset, args.scale)
+    attrs = [name for group in _attribute_sets(args.dataset) for name in group]
+    queries = mixed_queries(graph, list(dict.fromkeys(attrs)))
+    capacity = 0 if args.no_cache else args.cache
+    with QueryServer(graph, cache_capacity=capacity) as server:
+        report = run_workload(
+            server.serve, queries, requests=args.requests, threads=args.threads
+        )
+    cache_note = "cache off" if capacity == 0 else f"cache {capacity}"
+    print(
+        f"served {args.dataset} @ scale {args.scale} ({cache_note}, "
+        f"{len(queries)} distinct queries): {report.describe()}"
+    )
+    counters = get_metrics().snapshot()["counters"]
+    for name in sorted(counters):
+        if name.startswith("serving."):
+            print(f"  {name}: {counters[name]}")
+
+
 def _run_check(args: argparse.Namespace) -> None:
     from .diagnostics import check_graph, format_findings
 
@@ -480,7 +503,9 @@ def build_parser() -> argparse.ArgumentParser:
         "profile", help="run a workload under tracing and report span tree + metrics"
     )
     profile.add_argument("dataset", choices=["dblp", "movielens", "example"])
-    profile.add_argument("workload", choices=["aggregate", "explore", "session"])
+    profile.add_argument(
+        "workload", choices=["aggregate", "explore", "session", "serve"]
+    )
     profile.add_argument("--scale", type=float, default=0.05)
     profile.add_argument(
         "--workers", default=None, metavar="N",
@@ -521,6 +546,20 @@ def build_parser() -> argparse.ArgumentParser:
     stream.add_argument("--dataset", choices=["dblp", "movielens"], default="dblp")
     stream.add_argument("--scale", type=float, default=0.05)
     stream.set_defaults(func=_run_stream)
+
+    serve = sub.add_parser(
+        "serve",
+        help="drive the concurrent query server with a mixed workload",
+    )
+    serve.add_argument("--dataset", choices=["dblp", "movielens"], default="dblp")
+    serve.add_argument("--scale", type=float, default=0.05)
+    serve.add_argument("--requests", type=int, default=400)
+    serve.add_argument("--threads", type=int, default=4)
+    serve.add_argument("--cache", type=int, default=512,
+                       help="result-cache capacity (entries)")
+    serve.add_argument("--no-cache", action="store_true",
+                       help="disable the result cache")
+    serve.set_defaults(func=_run_serve)
 
     check = sub.add_parser("check", help="run graph consistency diagnostics")
     check.add_argument("--dataset", choices=["dblp", "movielens"], default="dblp")

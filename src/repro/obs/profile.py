@@ -27,7 +27,7 @@ from .trace import Span, Tracer, set_tracer
 __all__ = ["ProfileReport", "run_profile", "WORKLOADS", "DATASETS"]
 
 #: Workload names accepted by :func:`run_profile` / ``repro profile``.
-WORKLOADS = ("aggregate", "explore", "session")
+WORKLOADS = ("aggregate", "explore", "session", "serve")
 #: Dataset names accepted by :func:`run_profile` / ``repro profile``.
 DATASETS = ("dblp", "movielens", "example")
 
@@ -108,6 +108,20 @@ def _run_workload(workload: str, graph: Any, tracer: Tracer) -> dict[str, Any]:
             stability = session.explore("stability", "maximal", "new")
             summary["stability_pairs"] = len(stability.pairs)
             summary["stability_evaluations"] = stability.evaluations
+        if workload == "serve":
+            from ..serving import QueryServer, mixed_queries, run_workload
+
+            queries = mixed_queries(graph, attributes)
+            # One driver thread: the profile tracer is single-threaded
+            # by design; `repro serve` is the concurrent driver.
+            with QueryServer(graph) as server:
+                report = run_workload(
+                    server.serve, queries, requests=4 * len(queries), threads=1
+                )
+            summary["serve_requests"] = report.requests
+            summary["serve_threads"] = report.threads
+            summary["serve_qps"] = round(report.qps, 1)
+            summary["serve_p99_ms"] = round(report.p99_ms, 3)
     return summary
 
 

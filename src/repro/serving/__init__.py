@@ -1,0 +1,33 @@
+"""The query serving layer: normalizer, cost-based planner,
+version-keyed result cache and a concurrent query server.
+
+The pipeline (``docs/serving.md``)::
+
+    text --> AST --> NormalizedQuery --> ResultCache? --> Plan --> result
+
+Serving is *transparent*: a served result is bit-identical to evaluating
+the same query text from scratch against the version that served it —
+the ``serving-cache-transparency`` differential law fuzzes exactly this.
+"""
+
+from .cache import ResultCache
+from .normalize import NormalizedQuery, normalize_query
+from .planner import Plan, execute_plan, permute_result, plan_query
+from .server import QueryServer, Served
+from .workload import WorkloadReport, mixed_queries, percentile, run_workload
+
+__all__ = [
+    "QueryServer",
+    "Served",
+    "ResultCache",
+    "NormalizedQuery",
+    "normalize_query",
+    "Plan",
+    "plan_query",
+    "execute_plan",
+    "permute_result",
+    "WorkloadReport",
+    "run_workload",
+    "percentile",
+    "mixed_queries",
+]

@@ -1,0 +1,119 @@
+"""A bounded, thread-safe, version-keyed LRU result cache.
+
+Keys are ``(graph version id, normalized query key)``; values are the
+immutable result objects the evaluators produce (aggregates, evolution
+aggregates, temporal graphs, exploration results).  Because the version
+id is part of the key, an append can never make an entry *wrong* — it
+makes it *useless*, which is why invalidation here is an eviction policy
+(:meth:`ResultCache.invalidate_before`) driven by
+``StreamingStore.on_append`` rather than a correctness patch.
+
+Every operation updates the ``serving.cache.*`` counters in
+:mod:`repro.obs` (hits, misses, evictions, invalidations) plus a size
+gauge, so a running server's cache behaviour is visible in any metrics
+snapshot.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+from collections.abc import Hashable
+from typing import Any
+
+from ..errors import ConfigurationError
+from ..obs.metrics import get_metrics
+
+__all__ = ["ResultCache"]
+
+CacheKey = tuple[int, tuple[Hashable, ...]]
+
+
+class ResultCache:
+    """LRU map from ``(version, normalized key)`` to result objects.
+
+    ``capacity`` bounds the number of entries; 0 disables caching
+    entirely (every ``get`` misses, every ``put`` is dropped), which is
+    how the serving benchmark measures the uncached baseline through the
+    same code path.
+    """
+
+    def __init__(self, capacity: int = 512, namespace: str = "serving.cache") -> None:
+        if capacity < 0:
+            raise ConfigurationError(
+                f"cache capacity must be >= 0, got {capacity}"
+            )
+        self.capacity = capacity
+        self._namespace = namespace
+        self._lock = threading.Lock()
+        self._entries: OrderedDict[CacheKey, Any] = OrderedDict()
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    def _gauge_size(self) -> None:
+        # Called under the lock.
+        get_metrics().gauge(f"{self._namespace}.size", float(len(self._entries)))
+
+    def get(self, key: CacheKey) -> Any | None:
+        """The cached result for ``key`` (refreshing its recency), or
+        ``None``.  Results are immutable values — callers share them."""
+        metrics = get_metrics()
+        with self._lock:
+            entry = self._entries.get(key)
+            if entry is None:
+                metrics.inc(f"{self._namespace}.misses")
+                return None
+            self._entries.move_to_end(key)
+            metrics.inc(f"{self._namespace}.hits")
+            return entry
+
+    def put(self, key: CacheKey, value: Any) -> Any:
+        """Insert ``value`` under ``key``, evicting the least recently
+        used entries beyond capacity.  Returns the entry that ends up
+        cached (an earlier racer's identical result wins, so concurrent
+        fillers of one key converge on a single shared object)."""
+        if self.capacity == 0:
+            return value
+        metrics = get_metrics()
+        with self._lock:
+            existing = self._entries.get(key)
+            if existing is not None:
+                self._entries.move_to_end(key)
+                return existing
+            self._entries[key] = value
+            while len(self._entries) > self.capacity:
+                self._entries.popitem(last=False)
+                metrics.inc(f"{self._namespace}.evictions")
+            self._gauge_size()
+            return value
+
+    def invalidate_before(self, version: int) -> int:
+        """Drop every entry for a version older than ``version``; the
+        append-hook eviction policy.  Returns how many were dropped."""
+        with self._lock:
+            stale = [key for key in self._entries if key[0] < version]
+            for key in stale:
+                del self._entries[key]
+            if stale:
+                get_metrics().inc(
+                    f"{self._namespace}.invalidations", len(stale)
+                )
+                self._gauge_size()
+            return len(stale)
+
+    def clear(self) -> int:
+        """Drop everything (counted as invalidations)."""
+        with self._lock:
+            dropped = len(self._entries)
+            self._entries.clear()
+            if dropped:
+                get_metrics().inc(f"{self._namespace}.invalidations", dropped)
+                self._gauge_size()
+            return dropped
+
+    def keys(self) -> tuple[CacheKey, ...]:
+        """A snapshot of the current keys, LRU-first (tests/debugging)."""
+        with self._lock:
+            return tuple(self._entries)

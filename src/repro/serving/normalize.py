@@ -1,0 +1,196 @@
+"""Query normalization: parsed ASTs to canonical, bindable cache keys.
+
+Two queries that must return bit-identical results should share one
+cache entry.  The normalizer binds a parsed
+:data:`~repro.query.ast.QueryExpr` against a concrete graph and rewrites
+it into a :class:`NormalizedQuery` whose ``cache_key`` is invariant
+under every rewrite the algebra licenses:
+
+* **window canonicalization** — every window is bound to concrete
+  timeline labels, deduplicated and sorted to timeline order (windows
+  have set semantics: every operator routes them through
+  :func:`~repro.core.ordered_times`);
+* **commutative window reordering** — ``union``'s windows merge into one
+  set, ``intersection``'s two windows sort (Definitions 2.3/2.4 are
+  symmetric); ``difference`` keeps its order (Definition 2.5 is not);
+* **operator rewrites** — ``project`` merges its windows (its selection
+  is over the union of the written windows) and a single-point
+  ``project`` *is* the single-point ``union`` (present throughout one
+  instant == present at it);
+* **attribute-set canonicalization** — aggregate and evolution attribute
+  lists are rewritten to dimension order via
+  :func:`repro.olap.lattice.canonical`, remembering the written order as
+  ``output`` so the served result can be permuted back bit-exactly
+  (projection onto a reordering of the same attribute set is a
+  bijection on weight keys for DIST and ALL alike).
+
+Window binding raises the same
+:class:`~repro.query.evaluator.QueryBindingError` the naive evaluator
+raises for an unknown time label; an unknown *attribute* is kept as
+written and fails at evaluation with the naive path's error — either
+way, caching stays observably transparent.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Hashable, Sequence
+from dataclasses import dataclass
+
+from ..core import TemporalGraph
+from ..olap.lattice import canonical
+from ..query.ast import (
+    AggregateExpr,
+    EvolutionExpr,
+    ExploreExpr,
+    OperatorExpr,
+    QueryExpr,
+)
+from ..query.evaluator import bind_window
+from ..errors import InvalidTypeError
+
+__all__ = ["NormalizedQuery", "normalize_query"]
+
+Window = tuple[Hashable, ...]
+
+
+@dataclass(frozen=True)
+class NormalizedQuery:
+    """One bound, canonicalized query.
+
+    ``kind`` is ``operator`` / ``aggregate`` / ``evolution`` /
+    ``explore``; the remaining fields are the canonical payload.  For
+    aggregates and evolutions, ``attributes`` is the canonical
+    (dimension-ordered, deduplicated) attribute set and ``output`` the
+    order the caller wrote — execution computes on ``attributes`` and
+    permutes to ``output``.
+    """
+
+    kind: str
+    operator: str = ""
+    windows: tuple[Window, ...] = ()
+    attributes: tuple[str, ...] = ()
+    output: tuple[str, ...] = ()
+    distinct: bool = False
+    detail: tuple[Hashable, ...] = ()
+
+    @property
+    def cache_key(self) -> tuple[Hashable, ...]:
+        """The hashable identity shared by every equivalent query.
+
+        Deliberately excludes ``output``: results are cached in
+        canonical attribute order and permuted per caller, so
+        ``aggregate a, b`` and ``aggregate b, a`` share one entry.
+        """
+        return (
+            self.kind,
+            self.operator,
+            self.windows,
+            self.attributes,
+            self.distinct,
+            self.detail,
+        )
+
+    @property
+    def needs_permutation(self) -> bool:
+        return self.output != self.attributes
+
+    def describe(self) -> str:
+        if self.kind == "operator":
+            return f"{self.operator} over {len(self.windows)} window(s)"
+        if self.kind == "aggregate":
+            mode = "DIST" if self.distinct else "ALL"
+            return (
+                f"aggregate {mode} {'/'.join(self.attributes)} "
+                f"over {self.operator}"
+            )
+        if self.kind == "evolution":
+            return f"evolution by {'/'.join(self.attributes)}"
+        return f"explore {self.detail[0] if self.detail else '?'}"
+
+
+def _bound_window(graph: TemporalGraph, window: object) -> Window:
+    """Bind one WindowExpr to sorted, deduplicated timeline labels."""
+    labels = bind_window(graph, window)  # type: ignore[arg-type]
+    timeline = graph.timeline
+    wanted = set(labels)
+    return tuple(t for t in timeline.labels if t in wanted)
+
+
+def _window_rank(graph: TemporalGraph, window: Window) -> tuple[int, ...]:
+    return tuple(graph.timeline.index_of(t) for t in window)
+
+
+def _normalize_operator(
+    graph: TemporalGraph, expr: OperatorExpr
+) -> tuple[str, tuple[Window, ...]]:
+    windows = tuple(_bound_window(graph, w) for w in expr.windows)
+    name = expr.name
+    if name in ("project", "union"):
+        merged: set[Hashable] = set()
+        for window in windows:
+            merged.update(window)
+        window = tuple(t for t in graph.timeline.labels if t in merged)
+        if name == "project" and len(window) == 1:
+            # Present throughout one instant == present at it.
+            name = "union"
+        return name, (window,)
+    if name == "intersection":
+        return name, tuple(
+            sorted(windows, key=lambda w: _window_rank(graph, w))
+        )
+    return name, windows  # difference: order is semantics
+
+
+def _canonical_attributes(
+    graph: TemporalGraph, attributes: Sequence[str]
+) -> tuple[str, ...]:
+    """Dimension-ordered, deduplicated attributes — or as written when a
+    name is unknown (evaluation then raises the naive path's error)."""
+    dimensions = graph.attribute_names
+    if not set(attributes) <= set(dimensions):
+        return tuple(attributes)
+    return canonical(attributes, dimensions)
+
+
+def normalize_query(graph: TemporalGraph, expr: QueryExpr) -> NormalizedQuery:
+    """Bind and canonicalize one parsed query against ``graph``."""
+    if isinstance(expr, OperatorExpr):
+        name, windows = _normalize_operator(graph, expr)
+        return NormalizedQuery(kind="operator", operator=name, windows=windows)
+    if isinstance(expr, AggregateExpr):
+        name, windows = _normalize_operator(graph, expr.source)
+        output = tuple(expr.attributes)
+        return NormalizedQuery(
+            kind="aggregate",
+            operator=name,
+            windows=windows,
+            attributes=_canonical_attributes(graph, output),
+            output=output,
+            distinct=expr.distinct,
+        )
+    if isinstance(expr, EvolutionExpr):
+        windows = (
+            _bound_window(graph, expr.old),
+            _bound_window(graph, expr.new),
+        )
+        output = tuple(expr.attributes)
+        return NormalizedQuery(
+            kind="evolution",
+            windows=windows,
+            attributes=_canonical_attributes(graph, output),
+            output=output,
+        )
+    if isinstance(expr, ExploreExpr):
+        return NormalizedQuery(
+            kind="explore",
+            detail=(
+                expr.event,
+                expr.goal,
+                expr.extend,
+                expr.k,
+                expr.entity,
+                tuple(expr.attributes),
+                expr.key,
+            ),
+        )
+    raise InvalidTypeError(f"unknown query expression: {expr!r}")

@@ -1,0 +1,154 @@
+"""Concurrent workload driving for servers and benchmarks.
+
+:func:`run_workload` hammers an execute callable (usually
+``QueryServer.serve`` or a naive ``run_query`` adapter) with a
+round-robin query mix from N threads and reports sustained QPS plus the
+latency distribution.  The same driver measures the cached and uncached
+arms of ``benchmarks/bench_serving.py`` and powers ``repro serve``, so
+the two numbers are always produced by identical machinery.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections.abc import Callable, Sequence
+from dataclasses import dataclass
+from typing import Any
+
+from ..core import TemporalGraph
+from ..errors import ConfigurationError, ValidationError
+
+__all__ = ["WorkloadReport", "run_workload", "percentile", "mixed_queries"]
+
+
+def mixed_queries(
+    graph: TemporalGraph, attributes: Sequence[str]
+) -> tuple[str, ...]:
+    """A representative mixed workload over ``graph``: aggregates (ALL
+    and DIST, single and multi attribute, commuted duplicates that the
+    normalizer should fold together), an evolution, and raw operators.
+
+    Deterministic given the graph and attributes — the same mix drives
+    ``repro serve``, ``repro profile ... serve`` and
+    ``benchmarks/bench_serving.py``.
+    """
+    if not attributes:
+        raise ValidationError("mixed_queries needs at least one attribute")
+    labels = graph.timeline.labels
+    first, mid, last = labels[0], labels[len(labels) // 2], labels[-1]
+    head = attributes[0]
+    queries = [
+        f"aggregate {head} all over union [{first}..{last}]",
+        f"aggregate {head} over union [{first}], [{mid}]",
+        f"aggregate {head} over union [{mid}], [{first}]",
+        f"aggregate {head} distinct over project [{first}..{mid}]",
+        f"evolution [{first}..{mid}] -> [{last}] by {head}",
+        f"union [{first}], [{last}]",
+        f"intersection [{first}..{mid}], [{mid}..{last}]",
+        f"difference [{last}], [{first}]",
+    ]
+    if len(attributes) >= 2:
+        pair = ", ".join(attributes[:2])
+        swapped = ", ".join(reversed(attributes[:2]))
+        queries += [
+            f"aggregate {pair} all over union [{first}..{last}]",
+            f"aggregate {swapped} all over union [{first}..{last}]",
+            f"aggregate {pair} distinct over union [{mid}]",
+        ]
+    return tuple(queries)
+
+
+def percentile(latencies: Sequence[float], q: float) -> float:
+    """The ``q``-th percentile (nearest-rank) of a latency sample."""
+    if not latencies:
+        raise ValidationError("percentile of an empty sample")
+    ranked = sorted(latencies)
+    rank = max(0, min(len(ranked) - 1, round(q / 100.0 * len(ranked)) - 1))
+    return ranked[rank]
+
+
+@dataclass(frozen=True)
+class WorkloadReport:
+    """One workload run: throughput and latency distribution.
+
+    Latencies are milliseconds; ``qps`` is requests divided by the
+    wall-clock span from first request start to last request end.
+    """
+
+    requests: int
+    threads: int
+    duration_s: float
+    qps: float
+    mean_ms: float
+    p50_ms: float
+    p99_ms: float
+
+    def describe(self) -> str:
+        return (
+            f"{self.requests} requests / {self.threads} thread(s) in "
+            f"{self.duration_s:.3f}s = {self.qps:.0f} QPS "
+            f"(mean {self.mean_ms:.3f}ms, p50 {self.p50_ms:.3f}ms, "
+            f"p99 {self.p99_ms:.3f}ms)"
+        )
+
+
+def run_workload(
+    execute: Callable[[str], Any],
+    queries: Sequence[str],
+    requests: int = 1000,
+    threads: int = 4,
+) -> WorkloadReport:
+    """Drive ``execute`` with ``requests`` round-robin picks from
+    ``queries`` across ``threads`` workers and report QPS / latency.
+
+    The request stream is partitioned deterministically (worker *i*
+    takes requests ``i, i+threads, ...``), so a run is reproducible up
+    to scheduling.  A worker exception propagates to the caller after
+    all workers finish.
+    """
+    if not queries:
+        raise ValidationError("run_workload needs at least one query")
+    if requests < 1 or threads < 1:
+        raise ConfigurationError(
+            f"requests and threads must be >= 1, got {requests}/{threads}"
+        )
+    threads = min(threads, requests)
+    buckets: list[list[float]] = [[] for _ in range(threads)]
+    failures: list[BaseException] = []
+    lock = threading.Lock()
+
+    def worker(index: int) -> None:
+        mine = buckets[index]
+        try:
+            for n in range(index, requests, threads):
+                text = queries[n % len(queries)]
+                start = time.perf_counter()
+                execute(text)
+                mine.append((time.perf_counter() - start) * 1000.0)
+        except BaseException as exc:  # re-raised on the caller's thread
+            with lock:
+                failures.append(exc)
+
+    pool = [
+        threading.Thread(target=worker, args=(i,), name=f"serve-worker-{i}")
+        for i in range(threads)
+    ]
+    began = time.perf_counter()
+    for thread in pool:
+        thread.start()
+    for thread in pool:
+        thread.join()
+    duration = time.perf_counter() - began
+    if failures:
+        raise failures[0]
+    latencies = [latency for bucket in buckets for latency in bucket]
+    return WorkloadReport(
+        requests=len(latencies),
+        threads=threads,
+        duration_s=duration,
+        qps=len(latencies) / duration if duration > 0 else float("inf"),
+        mean_ms=sum(latencies) / len(latencies),
+        p50_ms=percentile(latencies, 50),
+        p99_ms=percentile(latencies, 99),
+    )

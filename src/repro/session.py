@@ -44,6 +44,7 @@ from .obs.metrics import get_metrics
 from .obs.trace import Span, get_tracer, trace_span
 from .olap import TemporalGraphCube
 from .parallel import parallelism_scope, resolve_parallelism
+from .serving import QueryServer, Served
 from .streaming import GraphVersion, StreamEvent, StreamingStore
 from .errors import UnknownLabelError, ValidationError
 
@@ -93,6 +94,7 @@ class GraphTempoSession:
             None if parallelism is None else resolve_parallelism(parallelism)
         )
         self._stream: StreamingStore | None = None
+        self._server: QueryServer | None = None
 
     def _parallel_scope(self) -> Any:
         """The scope every session operation resolves parallelism in."""
@@ -179,9 +181,17 @@ class GraphTempoSession:
         return self._stream
 
     def _refresh_from(self, version: GraphVersion) -> None:
-        """Invalidation hook: adopt a published version."""
+        """Invalidation hook: adopt a published version.
+
+        Everything derived from the superseded graph is dropped and
+        rebuilt here — the cube *and* the serving state (server cube +
+        result-cache entries for older versions) — so neither the
+        session nor its server can answer from a stale timeline.
+        """
         self.graph = version.graph
         self.cube = TemporalGraphCube(self.graph, hierarchy=self.hierarchy)
+        if self._server is not None:
+            self._server.rebind(version, cube=self.cube)
         get_metrics().inc("streaming.session_refreshes")
 
     def append(self, update: SnapshotUpdate) -> "GraphTempoSession":
@@ -346,15 +356,42 @@ class GraphTempoSession:
             parallelism=self.parallelism,
         )
 
+    # ------------------------------------------------------------------
+    # Query serving
+    # ------------------------------------------------------------------
+
+    @property
+    def serving(self) -> QueryServer:
+        """The session's query server, created on first use.
+
+        The server shares the session cube (so materialized cuboids
+        serve queries) and is safe to hammer from many threads; appends
+        through :meth:`append`/:meth:`ingest` rebind it to the published
+        version and evict superseded cache entries, so served results
+        are always bit-identical to evaluating against the current
+        graph.
+        """
+        if self._server is None:
+            self._server = QueryServer(
+                self.graph, cube=self.cube, hierarchy=self.hierarchy
+            )
+        return self._server
+
+    def serve(self, text: str) -> Served:
+        """Serve one query with provenance (result, version, route)."""
+        with self._parallel_scope():
+            return self.serving.serve(text)
+
     def query(self, text: str) -> Any:
         """Run a query-language statement against the session graph.
 
         See :mod:`repro.query.parser` for the grammar.  Example:
         ``session.query("aggregate gender over union [t0], [t1]")``.
+        Served through :attr:`serving`, so repeated queries hit the
+        result cache; results are bit-identical to
+        :func:`repro.query.run_query` on the session graph.
         """
-        from .query import run_query
-
-        return run_query(self.graph, text)
+        return self.serve(text).result
 
     def report(self) -> str:
         """The dataset size report for the session graph."""

@@ -150,15 +150,33 @@ class StreamingStore:
         lock, in registration order) — the seam caches use to invalidate
         or refresh themselves per append.
         """
+        _, unsubscribe = self.subscribe(hook)
+        return unsubscribe
+
+    def subscribe(
+        self, hook: Callable[[GraphVersion], None]
+    ) -> tuple[GraphVersion, Callable[[], None]]:
+        """Register an append hook and return ``(current, unsubscribe)``.
+
+        ``current`` is the version published at the moment of
+        registration, read under the append lock — so a subscriber that
+        binds its state to ``current`` is guaranteed to see every later
+        version through the hook, with no window for an append to slip
+        between "read latest" and "start listening".  This is the
+        race-free variant of :meth:`on_append` that
+        :meth:`repro.olap.TemporalGraphCube.bind_store` and
+        :class:`repro.serving.QueryServer` build on.
+        """
         with self._lock:
             self._hooks.append(hook)
+            current = self._versions[-1]
 
         def unsubscribe() -> None:
             with self._lock:
                 if hook in self._hooks:
                     self._hooks.remove(hook)
 
-        return unsubscribe
+        return current, unsubscribe
 
     # ------------------------------------------------------------------
     # Writes

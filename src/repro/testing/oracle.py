@@ -36,6 +36,7 @@ DIFFERENTIAL_LAW_NAMES = (
     "union-store-agrees",
     "incremental-replay-agrees",
     "exploration-variants-agree",
+    "serving-cache-transparency",
 )
 
 
@@ -194,4 +195,101 @@ def _exploration_variants_agree(
                 f"explore-incremental vs {name} on {event}/{goal}/{extend} "
                 f"k={k} attrs={attrs!r} key={key!r}: {problems[0]}"
             )
+    return None
+
+
+def _served_matches(served: object, naive: object) -> str | None:
+    """Bit-exact comparison across the result types queries produce."""
+    if isinstance(served, TemporalGraph) and isinstance(naive, TemporalGraph):
+        if presence_signature(served) != presence_signature(naive):
+            return "served temporal graph's presence diverges"
+        return None
+    problems = served.diff(naive)  # type: ignore[attr-defined]
+    return problems[0] if problems else None
+
+
+@register_law(
+    "serving-cache-transparency",
+    "served results (normalizer + planner + result cache + permutation) "
+    "are bit-identical to from-scratch evaluation — or raise the same "
+    "taxonomy error",
+    hostile_safe=False,
+)
+def _serving_cache_transparency(
+    graph: TemporalGraph, rng: np.random.Generator
+) -> str | None:
+    from ..query.ast import (
+        AggregateExpr,
+        EvolutionExpr,
+        OperatorExpr,
+        QueryExpr,
+        WindowExpr,
+    )
+    from ..query.evaluator import evaluate
+    from ..serving import QueryServer
+
+    labels = graph.timeline.labels
+
+    def window() -> WindowExpr:
+        i = int(rng.integers(len(labels)))
+        j = int(rng.integers(len(labels)))
+        if rng.integers(2):
+            return WindowExpr(labels[i])
+        lo, hi = sorted((i, j))
+        return WindowExpr(labels[lo], labels[hi])
+
+    def operator() -> OperatorExpr:
+        name = ("union", "project", "intersection", "difference")[
+            int(rng.integers(4))
+        ]
+        n = 2 if name in ("intersection", "difference") else int(rng.integers(1, 3))
+        return OperatorExpr(name, tuple(window() for _ in range(n)))
+
+    exprs: list[QueryExpr] = []
+    for _ in range(3):
+        attrs = tuple(_pick_attributes(rng, graph))
+        choice = int(rng.integers(3))
+        if choice == 0 or not attrs:
+            exprs.append(operator())
+        elif choice == 1:
+            exprs.append(AggregateExpr(attrs, bool(rng.integers(2)), operator()))
+        else:
+            exprs.append(EvolutionExpr(window(), window(), attrs))
+        last = exprs[-1]
+        if len(attrs) > 1 and not isinstance(last, OperatorExpr):
+            # The same query with the attribute list written in reverse:
+            # it shares the canonical cache entry and must still match
+            # its own from-scratch evaluation after permutation.
+            swapped = tuple(reversed(attrs))
+            if isinstance(last, AggregateExpr):
+                exprs.append(AggregateExpr(swapped, last.distinct, last.source))
+            else:
+                exprs.append(EvolutionExpr(last.old, last.new, swapped))
+
+    server = QueryServer(graph)
+    for expr in exprs:
+        # Twice: first populates the result cache, second must serve the
+        # cached entry — both observably identical to naive evaluation.
+        for attempt in ("cold", "cached"):
+            served_error = naive_error = None
+            served = naive = None
+            try:
+                served = server.serve_expr(expr).result
+            except GraphTempoError as exc:
+                served_error = type(exc).__name__
+            try:
+                naive = evaluate(graph, expr)
+            except GraphTempoError as exc:
+                naive_error = type(exc).__name__
+            if served_error or naive_error:
+                if served_error != naive_error:
+                    return (
+                        f"{attempt} serve of {str(expr)!r} raised "
+                        f"{served_error!r} but naive evaluation raised "
+                        f"{naive_error!r}"
+                    )
+                continue
+            problem = _served_matches(served, naive)
+            if problem:
+                return f"{attempt} serve of {str(expr)!r} diverges: {problem}"
     return None

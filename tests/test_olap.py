@@ -202,6 +202,98 @@ class TestCube:
             cube.cuboid(["gender"], times=["November"])
 
 
+class TestCubeCacheRegressions:
+    """Regression tests for the two cache-key bugs: caller window order
+    splitting the cache, and materialized_count conflating deliberate
+    views with incidentally cached query results."""
+
+    @pytest.fixture()
+    def cube(self, small_movielens):
+        return TemporalGraphCube(small_movielens)
+
+    def test_window_order_shares_one_cache_entry(self, cube):
+        first = cube.cuboid(["gender"], times=["Jun", "May"], distinct=False)
+        second = cube.cuboid(["gender"], times=["May", "Jun"], distinct=False)
+        assert cube.stats.base_computations == 1
+        assert cube.stats.exact_hits == 1
+        assert first is second  # one entry, not two
+        assert cube.cached_count == 1
+
+    def test_window_order_results_identical(self, cube, small_movielens):
+        result = cube.cuboid(["gender"], times=["Jun", "May"], distinct=False)
+        direct = aggregate(
+            union(small_movielens, ["May", "Jun"]), ["gender"], distinct=False
+        )
+        assert dict(result.node_weights) == dict(direct.node_weights)
+
+    def test_materialized_count_excludes_query_results(self, cube):
+        cube.materialize(["gender"], times=["May"])
+        assert cube.materialized_count == 1
+        cube.cuboid(["age"], times=["May"], distinct=False)
+        # The query result is cached but was not materialized.
+        assert cube.materialized_count == 1
+        assert cube.cached_count == 2
+
+    def test_per_time_point_materialization_counts_each_point(self, cube):
+        cube.materialize(["gender"], per_time_point=True)
+        assert cube.materialized_count == len(cube.graph.timeline.labels)
+
+    def test_invalidate_drops_cache_and_materialized(self, cube):
+        cube.materialize(["gender"], times=["May"])
+        cube.cuboid(["age"], times=["May"], distinct=False)
+        cube.invalidate()
+        assert cube.materialized_count == 0
+        assert cube.cached_count == 0
+
+    def test_plan_routes_cheapest_first_with_base_fallback(self, cube):
+        routes = cube.plan_routes(["gender"], times=["May"], distinct=False)
+        assert routes[-1].kind == "base"
+        assert routes == sorted(routes, key=lambda r: r.rank)
+        cube.cuboid(["gender"], times=["May"], distinct=False)
+        routes = cube.plan_routes(["gender"], times=["May"], distinct=False)
+        assert routes[0].kind == "exact"
+        assert routes[0].cost == 0.0
+
+    def test_bind_store_invalidates_on_append(self, paper_graph):
+        from repro.core.updates import SnapshotUpdate
+        from repro.streaming import StreamingStore
+
+        cube = TemporalGraphCube(paper_graph)
+        store = StreamingStore(paper_graph)
+        cube.bind_store(store)
+        cube.materialize(["gender"])
+        assert cube.cached_count == 1
+        store.append_snapshot(
+            SnapshotUpdate(
+                time="t3",
+                nodes={"u1": {"publications": 9}},
+                edges=[],
+            )
+        )
+        # Appends drop the cache and rebind the cube to the new graph.
+        assert cube.cached_count == 0
+        assert cube.graph is store.graph
+        result = cube.cuboid(["gender"], distinct=False)
+        direct = aggregate(store.graph, ["gender"], distinct=False)
+        assert dict(result.node_weights) == dict(direct.node_weights)
+
+    def test_unbind_stops_invalidation(self, paper_graph):
+        from repro.core.updates import SnapshotUpdate
+        from repro.streaming import StreamingStore
+
+        cube = TemporalGraphCube(paper_graph)
+        store = StreamingStore(paper_graph)
+        unbind = cube.bind_store(store)
+        unbind()
+        cube.materialize(["gender"])
+        store.append_snapshot(
+            SnapshotUpdate(
+                time="t3", nodes={"u1": {"publications": 9}}, edges=[]
+            )
+        )
+        assert cube.cached_count == 1  # no longer following the store
+
+
 class TestViewSelection:
     def test_size_estimates(self, small_movielens):
         sizes = estimate_cuboid_sizes(small_movielens, DIMS)
