@@ -29,6 +29,9 @@ from bench_parallel_speedup import GATE, GATE_MIN_CPUS
 from bench_parallel_speedup import main as parallel_bench_main
 from bench_serving import GATE as SERVING_GATE
 from bench_serving import main as serving_bench_main
+from bench_storage import GATE_FOOTPRINT as STORAGE_GATE_FOOTPRINT
+from bench_storage import GATE_LATENCY as STORAGE_GATE_LATENCY
+from bench_storage import main as storage_bench_main
 from bench_streaming import GATE as STREAMING_GATE
 from bench_streaming import main as streaming_bench_main
 
@@ -186,6 +189,49 @@ class TestServingBaseline:
         )
 
 
+class TestStorageBaseline:
+    def test_structure(self, storage_baseline):
+        meta = storage_baseline["meta"]
+        assert not meta["smoke"]
+        assert meta["gate_footprint"] == STORAGE_GATE_FOOTPRINT
+        assert meta["gate_latency"] == STORAGE_GATE_LATENCY
+        datasets = {row["dataset"] for row in storage_baseline["datasets"]}
+        assert datasets == {"dblp", "movielens"}
+        for row in storage_baseline["datasets"]:
+            footprint = row["footprint"]
+            assert set(footprint) == {"dense", "columnar"}
+            assert _recomputes(
+                row["footprint_reduction"],
+                footprint["dense"]["nbytes"],
+                footprint["columnar"]["nbytes"],
+            )
+            workloads = {r["workload"] for r in row["latency"]}
+            assert workloads == {"masks", "slice", "aggregate"}
+            for r in row["latency"]:
+                assert _recomputes(
+                    r["ratio"], r["columnar_best_s"], r["dense_best_s"]
+                )
+
+    def test_footprint_and_latency_gates(
+        self, storage_baseline, bench_tolerance
+    ):
+        meta = storage_baseline["meta"]
+        gated = set(meta["gated_datasets"])
+        assert gated, "the report must gate at least one dataset"
+        for row in storage_baseline["datasets"]:
+            if row["dataset"] not in gated:
+                continue
+            assert row["footprint_reduction"] >= meta["gate_footprint"] * (
+                1 - bench_tolerance
+            ), f"{row['dataset']}: columnar footprint win regressed"
+            masks = next(
+                r for r in row["latency"] if r["workload"] == "masks"
+            )
+            assert masks["ratio"] <= meta["gate_latency"] * (
+                1 + bench_tolerance
+            ), f"{row['dataset']}: columnar mask hot path regressed"
+
+
 class TestLiveSmoke:
     def test_parallel_bench_smoke_run(self, tmp_path):
         """End-to-end smoke run: parity asserts fire on *this* machine."""
@@ -209,6 +255,19 @@ class TestLiveSmoke:
             "totals",
             "evolution",
             "exploration",
+        }
+
+    def test_storage_bench_smoke_run(self, tmp_path):
+        """End-to-end smoke run: the backend-parity asserts fire on
+        *this* machine before either layout is measured."""
+        output = tmp_path / "BENCH_storage.json"
+        exit_code = storage_bench_main(["--smoke", "--output", str(output)])
+        assert exit_code == 0
+        report = json.loads(output.read_text(encoding="utf-8"))
+        assert report["meta"]["smoke"] is True
+        assert {row["dataset"] for row in report["datasets"]} == {
+            "dblp",
+            "movielens",
         }
 
     def test_serving_bench_smoke_run(self, tmp_path):

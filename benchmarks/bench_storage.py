@@ -1,0 +1,309 @@
+"""Storage-substrate benchmark: columnar vs dense footprint and latency.
+
+Builds both registered :mod:`repro.storage` backends over the scaled
+DBLP and MovieLens graphs and records, per dataset:
+
+* **footprint** — the bytes each backend holds resident
+  (:meth:`GraphStorageBackend.nbytes`: array buffers plus each distinct
+  boxed attribute value counted once), and the resident-set growth a
+  subprocess observes while constructing the backend (Linux ``/proc``;
+  recorded informationally, ``null`` elsewhere);
+* **latency** — hot-path timings for the three read primitives:
+  presence-mask reductions over sliding windows (the ``masks`` workload
+  every operator and exploration chain sits on), ``slice_time``, and a
+  full ``aggregate`` through the backend-pinned graph.
+
+Every timing is preceded by a parity assert (masks bit-equal, aggregates
+``diff() == ()``), so the numbers can never come from divergent work.
+
+Results land in ``BENCH_storage.json``.  Run directly::
+
+    PYTHONPATH=src python benchmarks/bench_storage.py [--smoke]
+
+Two gates, checked on the full-size run and re-checked against the
+committed JSON by ``bench_regression.py``:
+
+* the columnar backend shrinks the DBLP footprint by >=
+  {GATE_FOOTPRINT}x (bit-packed presence + narrow attribute codes pay
+  for the event/adjacency indices once the timeline is long enough);
+* the columnar ``masks`` hot path stays within {GATE_LATENCY}x of dense
+  on DBLP.
+
+MovieLens is recorded but not gated: its 6-point timeline means
+per-cell savings cannot amortize the per-edge adjacency index, and its
+sub-millisecond workloads time Python dispatch overhead rather than the
+layout — the trade-off ``docs/storage.md`` documents.  ``--smoke`` shrinks the
+workload for CI; the checked-in JSON comes from a full run.  This file
+is a script, not a pytest module — pytest collects nothing from it.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import platform
+import subprocess
+import sys
+from pathlib import Path
+
+import numpy as np
+
+from repro.bench import measure, speedup
+from repro.core import aggregate
+from repro.datasets import generate_dblp, generate_movielens
+from repro.storage import backend_names, get_backend
+
+#: Minimum dense/columnar footprint ratio on the full-size DBLP run.
+GATE_FOOTPRINT = 1.5
+
+#: Maximum columnar/dense best-time ratio for the ``masks`` hot path.
+GATE_LATENCY = 1.2
+
+DATASETS = (
+    ("dblp", generate_dblp),
+    ("movielens", generate_movielens),
+)
+
+#: Datasets the gates bind on (long timelines, workloads big enough to
+#: time the layout rather than Python dispatch).
+GATED_DATASETS = ("dblp",)
+
+_RSS_PROBE = """\
+import gc, json, sys
+from repro.datasets import generate_dblp, generate_movielens
+from repro.storage import get_backend
+
+dataset, backend, scale, seed = sys.argv[1:5]
+generator = {"dblp": generate_dblp, "movielens": generate_movielens}[dataset]
+graph = generator(scale=float(scale), seed=int(seed))
+
+def rss_kb():
+    try:
+        with open("/proc/self/status", encoding="ascii") as handle:
+            for line in handle:
+                if line.startswith("VmRSS:"):
+                    return int(line.split()[1])
+    except OSError:
+        return None
+    return None
+
+gc.collect()
+before = rss_kb()
+storage = get_backend(backend).from_graph(graph)
+gc.collect()
+after = rss_kb()
+delta = None if before is None or after is None else after - before
+print(json.dumps({"rss_delta_kb": delta, "nbytes": storage.nbytes()}))
+"""
+
+
+def probe_rss(dataset: str, backend: str, scale: float, seed: int):
+    """Resident-set growth from holding one backend, in a fresh process."""
+    try:
+        out = subprocess.run(
+            [sys.executable, "-c", _RSS_PROBE, dataset, backend,
+             str(scale), str(seed)],
+            capture_output=True,
+            text=True,
+            check=True,
+            timeout=600,
+        )
+        return json.loads(out.stdout.strip().splitlines()[-1])["rss_delta_kb"]
+    except (subprocess.SubprocessError, ValueError, KeyError):
+        return None
+
+
+def _windows(graph):
+    labels = graph.timeline.labels
+    width = max(1, min(3, len(labels) - 1))
+    step = 2 if len(labels) > 8 else 1
+    return [
+        list(labels[i : i + width])
+        for i in range(0, max(1, len(labels) - width), step)
+    ]
+
+
+def mask_workload(storage, windows):
+    total = 0
+    for window in windows:
+        for entity in ("nodes", "edges"):
+            for mode in ("any", "all", "none"):
+                total += int(storage.presence_mask(entity, window, mode).sum())
+    return total
+
+
+def slice_workload(storage, windows):
+    total = 0
+    for window in windows:
+        total += len(storage.slice_time(window).times)
+    return total
+
+
+def assert_parity(graph, backends, windows, attrs):
+    """Bit-exact agreement across all backends before anything is timed."""
+    names = sorted(backends)
+    reference = backends[names[0]]
+    for window in windows:
+        for entity in ("nodes", "edges"):
+            for mode in ("any", "all", "none"):
+                expected = reference.presence_mask(entity, window, mode)
+                for other in names[1:]:
+                    actual = backends[other].presence_mask(entity, window, mode)
+                    assert np.array_equal(expected, actual), (
+                        f"{other}: {entity}/{mode} mask diverges over {window}"
+                    )
+    for distinct in (True, False):
+        baseline = aggregate(graph, attrs, distinct=distinct)
+        for name in names:
+            variant = aggregate(
+                backends[name].to_graph(), attrs, distinct=distinct
+            )
+            assert baseline.diff(variant) == (), (
+                f"{name}: aggregate diverges (distinct={distinct})"
+            )
+
+
+def bench_dataset(dataset, generator, scale, seed, repeats):
+    graph = generator(scale=scale, seed=seed)
+    windows = _windows(graph)
+    attrs = [sorted(graph.static_attribute_names)[0]]
+    backends = {
+        name: get_backend(name).from_graph(graph) for name in backend_names()
+    }
+    assert_parity(graph, backends, windows, attrs)
+
+    footprint = {}
+    for name, storage in sorted(backends.items()):
+        footprint[name] = {
+            "nbytes": storage.nbytes(),
+            "rss_delta_kb": probe_rss(dataset, name, scale, seed),
+        }
+    reduction = footprint["dense"]["nbytes"] / footprint["columnar"]["nbytes"]
+    print(
+        f"  footprint: dense {footprint['dense']['nbytes']} B, columnar "
+        f"{footprint['columnar']['nbytes']} B ({reduction:.2f}x reduction)"
+    )
+
+    pinned = {name: storage.to_graph() for name, storage in backends.items()}
+    workloads = {
+        "masks": lambda s, name: mask_workload(s, windows),
+        "slice": lambda s, name: slice_workload(s, windows),
+        "aggregate": lambda s, name: len(
+            aggregate(pinned[name], attrs, distinct=False).node_weights
+        ),
+    }
+    latency = []
+    for workload, run in workloads.items():
+        timings = {
+            name: measure(
+                lambda s=storage, n=name: run(s, n), repeats=repeats
+            )
+            for name, storage in sorted(backends.items())
+        }
+        ratio = timings["columnar"].best / timings["dense"].best
+        latency.append(
+            {
+                "workload": workload,
+                "dense_best_s": timings["dense"].best,
+                "columnar_best_s": timings["columnar"].best,
+                "ratio": ratio,
+            }
+        )
+        print(
+            f"  {workload:>9}: dense {timings['dense'].best:.4f}s "
+            f"columnar {timings['columnar'].best:.4f}s "
+            f"({ratio:.2f}x dense)"
+        )
+    return {
+        "dataset": dataset,
+        "scale": scale,
+        "n_nodes": len(graph.nodes),
+        "n_edges": len(graph.edges),
+        "n_times": len(graph.timeline),
+        "footprint": footprint,
+        "footprint_reduction": reduction,
+        "latency": latency,
+    }
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help="tiny datasets and one repeat (CI); waives both gates",
+    )
+    parser.add_argument(
+        "--output",
+        type=Path,
+        default=Path(__file__).resolve().parent.parent
+        / "BENCH_storage.json",
+        help="where to write the JSON report",
+    )
+    parser.add_argument("--repeats", type=int, default=None)
+    parser.add_argument("--scale", type=float, default=None)
+    parser.add_argument("--seed", type=int, default=7)
+    args = parser.parse_args(argv)
+    args.output = args.output.expanduser().resolve()
+
+    if args.smoke:
+        scale = args.scale or 0.01
+        repeats = args.repeats or 1
+    else:
+        scale = args.scale or 0.05
+        repeats = args.repeats or 3
+
+    rows = []
+    for dataset, generator in DATASETS:
+        print(f"storage ({dataset} @ scale {scale}):")
+        rows.append(
+            bench_dataset(dataset, generator, scale, args.seed, repeats)
+        )
+
+    report = {
+        "meta": {
+            "smoke": args.smoke,
+            "repeats": repeats,
+            "scale": scale,
+            "seed": args.seed,
+            "python": platform.python_version(),
+            "numpy": np.__version__,
+            "gate_footprint": GATE_FOOTPRINT,
+            "gate_latency": GATE_LATENCY,
+            "gated_datasets": list(GATED_DATASETS),
+        },
+        "datasets": rows,
+    }
+    args.output.write_text(json.dumps(report, indent=2) + "\n")
+    print(f"wrote {args.output}")
+
+    if args.smoke:
+        # Smoke datasets are too small for the layout trade-offs to show;
+        # only the full-size run says anything about the gates.
+        return 0
+    failed = False
+    for row in rows:
+        if row["dataset"] not in GATED_DATASETS:
+            continue
+        if row["footprint_reduction"] < GATE_FOOTPRINT:
+            print(
+                f"WARNING: {row['dataset']} footprint reduction "
+                f"{row['footprint_reduction']:.2f}x is below the "
+                f"{GATE_FOOTPRINT}x gate"
+            )
+            failed = True
+        masks = next(
+            r for r in row["latency"] if r["workload"] == "masks"
+        )
+        if masks["ratio"] > GATE_LATENCY:
+            print(
+                f"WARNING: {row['dataset']} columnar mask path is "
+                f"{masks['ratio']:.2f}x dense, above the "
+                f"{GATE_LATENCY}x gate"
+            )
+            failed = True
+    return 1 if failed else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -103,6 +103,11 @@ def serving_baseline() -> dict:
 
 
 @pytest.fixture(scope="session")
+def storage_baseline() -> dict:
+    return load_baseline("BENCH_storage.json")
+
+
+@pytest.fixture(scope="session")
 def dblp():
     """The DBLP-like graph at the benchmark scale."""
     return generate_dblp(scale=BENCH_SCALE, seed=7 + TEST_SEED)

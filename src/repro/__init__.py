@@ -30,6 +30,13 @@ from .core import (
 )
 from .serving import QueryServer, Served
 from .session import GraphTempoSession
+from .storage import (
+    ColumnarBackend,
+    DenseBackend,
+    GraphStorageBackend,
+    backend_names,
+    get_backend,
+)
 from .streaming import (
     EdgeEvent,
     GraphVersion,
@@ -66,5 +73,10 @@ __all__ = [
     "GraphVersion",
     "NodeEvent",
     "EdgeEvent",
+    "GraphStorageBackend",
+    "DenseBackend",
+    "ColumnarBackend",
+    "backend_names",
+    "get_backend",
     "__version__",
 ]

@@ -52,15 +52,19 @@ def check_no_dangling_edges(graph: TemporalGraph) -> None:
     whether the edge happens to be present inside the aggregation window.
     (The differential fuzz oracle relies on the engines agreeing on
     errors as much as on weights.)
+
+    The scan goes through the storage backend's ``adjacency_scan``, so
+    it works on any registered layout and names the backend it ran on.
     """
-    node_set = set(graph.node_presence.row_labels)
-    for edge in graph.edge_presence.row_labels:
-        u, v = edge  # type: ignore[misc]
-        if u not in node_set or v not in node_set:
-            missing = u if u not in node_set else v
+    backend = graph.storage
+    for edge, u_row, v_row in backend.adjacency_scan():
+        if u_row < 0 or v_row < 0:
+            u, v = edge  # type: ignore[misc]
+            missing = u if u_row < 0 else v
             raise AggregationError(
                 f"edge {edge!r} references node {missing!r} absent from "
-                "node presence; the graph has dangling edges"
+                "node presence; the graph has dangling edges "
+                f"(storage backend {backend.name!r})"
             )
 
 #: One aggregate node: the tuple of attribute values that defines it.

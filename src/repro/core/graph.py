@@ -18,9 +18,12 @@ DBLP, rating precedence in MovieLens).
 from __future__ import annotations
 
 from collections.abc import Hashable, Iterable, Mapping, Sequence
-from typing import Any
+from typing import TYPE_CHECKING, Any
 
 import numpy as np
+
+if TYPE_CHECKING:  # pragma: no cover - static analysis only
+    from ..storage import GraphStorageBackend
 
 from ..frames import LabeledFrame
 from .intervals import Timeline
@@ -53,6 +56,8 @@ class TemporalGraph:
         "static_attrs",
         "varying_attrs",
         "edge_attrs",
+        "_storage_name",
+        "_storage",
     )
 
     def __init__(
@@ -64,6 +69,7 @@ class TemporalGraph:
         varying_attrs: Mapping[str, LabeledFrame],
         validate: bool = True,
         edge_attrs: LabeledFrame | None = None,
+        storage: "GraphStorageBackend | str | None" = None,
     ) -> None:
         self.timeline = timeline
         self.node_presence = node_presence
@@ -71,6 +77,17 @@ class TemporalGraph:
         self.static_attrs = static_attrs
         self.varying_attrs = dict(varying_attrs)
         self.edge_attrs = edge_attrs
+        # ``storage`` selects the physical backend (repro.storage): a
+        # name, a prebuilt backend instance, or None = the
+        # REPRO_STORAGE_BACKEND env default.  The backend itself is
+        # built lazily on first ``.storage`` access, so graphs that
+        # never leave the dense path pay nothing.
+        if storage is None or isinstance(storage, str):
+            self._storage_name: str | None = storage
+            self._storage: "GraphStorageBackend | None" = None
+        else:
+            self._storage_name = storage.name
+            self._storage = storage
         self._check_schema()
         if validate:
             self._check_integrity()
@@ -135,6 +152,62 @@ class TemporalGraph:
                 raise GraphIntegrityError(
                     f"edge {edge!r} is active at a time its endpoints are not"
                 )
+
+    # ------------------------------------------------------------------
+    # Storage substrate (repro.storage)
+    # ------------------------------------------------------------------
+
+    @property
+    def storage_name(self) -> str | None:
+        """The backend name this graph was pinned to (``None`` = env
+        default, resolved lazily)."""
+        return self._storage_name
+
+    @property
+    def storage(self) -> "GraphStorageBackend":
+        """The physical storage backend, built on first access.
+
+        Resolution order: an instance or name passed at construction,
+        else the ``REPRO_STORAGE_BACKEND`` environment variable, else
+        ``"dense"``.  The instance is cached on the graph; graphs are
+        value-like, so the cached backend never goes stale.
+        """
+        if self._storage is None:
+            from ..storage import get_backend, resolve_backend_name
+
+            name = resolve_backend_name(self._storage_name)
+            self._storage = get_backend(name).from_graph(self)
+            self._storage_name = name
+        return self._storage
+
+    def with_storage(
+        self, storage: "GraphStorageBackend | str"
+    ) -> "TemporalGraph":
+        """A new graph over the same frames pinned to ``storage``."""
+        return TemporalGraph(
+            timeline=self.timeline,
+            node_presence=self.node_presence,
+            edge_presence=self.edge_presence,
+            static_attrs=self.static_attrs,
+            varying_attrs=self.varying_attrs,
+            validate=False,
+            edge_attrs=self.edge_attrs,
+            storage=storage,
+        )
+
+    def presence_mask(
+        self,
+        entity: str,
+        times: Sequence[Hashable] | None = None,
+        mode: str = "any",
+    ) -> np.ndarray:
+        """Boolean per-entity presence reduction over a window.
+
+        Delegates to the storage backend; ``entity`` is ``"nodes"`` or
+        ``"edges"``, ``mode`` is ``"any"``/``"all"``/``"none"`` (the
+        union / intersection / difference selection rules).
+        """
+        return self.storage.presence_mask(entity, times, mode)
 
     # ------------------------------------------------------------------
     # Basic accessors
@@ -278,6 +351,9 @@ class TemporalGraph:
                 if self.edge_attrs is not None
                 else None
             ),
+            # Propagate the backend *selection*, never the instance: the
+            # restricted graph's arrays differ, so it builds its own.
+            storage=self._storage_name,
         )
 
     # ------------------------------------------------------------------

@@ -110,8 +110,8 @@ def project(graph: TemporalGraph, times: Iterable[Hashable]) -> TemporalGraph:
         raise TemporalError("cannot project onto an empty time set")
     get_metrics().inc("operators.project")
     with trace_span("operator.project", n_times=len(window)):
-        node_mask = graph.node_presence.all_mask(window)
-        edge_mask = graph.edge_presence.all_mask(window)
+        node_mask = graph.presence_mask("nodes", window, "all")
+        edge_mask = graph.presence_mask("edges", window, "all")
         return _restrict_by_masks(graph, node_mask, edge_mask, window)
 
 
@@ -132,8 +132,8 @@ def union(
         raise TemporalError("cannot take the union over an empty time set")
     get_metrics().inc("operators.union")
     with trace_span("operator.union", n_times=len(window)):
-        node_mask = graph.node_presence.any_mask(window)
-        edge_mask = graph.edge_presence.any_mask(window)
+        node_mask = graph.presence_mask("nodes", window, "any")
+        edge_mask = graph.presence_mask("edges", window, "any")
         return _restrict_by_masks(graph, node_mask, edge_mask, window)
 
 
@@ -155,8 +155,12 @@ def intersection(
     get_metrics().inc("operators.intersection")
     with trace_span("operator.intersection", n_times=len(first) + len(second)):
         window = ordered_times(graph, first, second)
-        node_mask = graph.node_presence.any_mask(first) & graph.node_presence.any_mask(second)
-        edge_mask = graph.edge_presence.any_mask(first) & graph.edge_presence.any_mask(second)
+        node_mask = graph.presence_mask("nodes", first) & graph.presence_mask(
+            "nodes", second
+        )
+        edge_mask = graph.presence_mask("edges", first) & graph.presence_mask(
+            "edges", second
+        )
         return _restrict_by_masks(graph, node_mask, edge_mask, window)
 
 
@@ -182,7 +186,9 @@ def difference(
         raise TemporalError("difference requires a non-empty left time set")
     get_metrics().inc("operators.difference")
     with trace_span("operator.difference", n_times=len(first) + len(second)):
-        edge_mask = graph.edge_presence.any_mask(first) & graph.edge_presence.none_mask(second)
+        edge_mask = graph.presence_mask("edges", first) & graph.presence_mask(
+            "edges", second, "none"
+        )
         kept_endpoints: set[Hashable] = set()
         for edge, keep in zip(graph.edge_presence.row_labels, edge_mask):
             if keep:
@@ -194,7 +200,7 @@ def difference(
             dtype=bool,
             count=graph.n_nodes,
         )
-        node_mask = graph.node_presence.any_mask(first) & (
-            graph.node_presence.none_mask(second) | endpoint_mask
+        node_mask = graph.presence_mask("nodes", first) & (
+            graph.presence_mask("nodes", second, "none") | endpoint_mask
         )
         return _restrict_by_masks(graph, node_mask, edge_mask, first)

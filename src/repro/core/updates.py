@@ -183,6 +183,11 @@ def append_snapshot(graph: TemporalGraph, update: SnapshotUpdate) -> TemporalGra
         varying_attrs=varying_attrs,
         validate=False,
         edge_attrs=edge_attr_frame,
+        # Keep the input graph's backend *selection*.  The appended
+        # graph is a fresh value over fresh arrays, so a columnar input
+        # rebuilds its layout lazily — the published version stays
+        # immutable and earlier versions keep their own backends.
+        storage=graph.storage_name,
     )
 
 

@@ -59,28 +59,27 @@ def check_graph(graph: TemporalGraph) -> list[Finding]:
     warnings: list[Finding] = []
     infos: list[Finding] = []
 
-    node_set = set(graph.node_presence.row_labels)
     node_pos = {n: i for i, n in enumerate(graph.node_presence.row_labels)}
     node_values = graph.node_presence.values.astype(bool)
     edge_values = graph.edge_presence.values.astype(bool)
 
     # --- errors ---------------------------------------------------------
+    # The dangling scan goes through the storage backend's adjacency
+    # index, so it audits whichever physical layout the graph uses and
+    # the finding names that backend.
+    backend = graph.storage
     dangling = [
         edge
-        for edge in graph.edge_presence.row_labels
-        if not (
-            isinstance(edge, tuple)
-            and len(edge) == 2
-            and edge[0] in node_set
-            and edge[1] in node_set
-        )
+        for edge, u_row, v_row in backend.adjacency_scan()
+        if u_row < 0 or v_row < 0
     ]
     if dangling:
         errors.append(
             Finding(
                 "error",
                 "dangling-edge",
-                f"edges reference unknown nodes: {_sample(dangling)}",
+                f"edges reference unknown nodes (storage backend "
+                f"{backend.name!r}): {_sample(dangling)}",
             )
         )
 

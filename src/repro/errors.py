@@ -21,6 +21,9 @@ The taxonomy mirrors the paper's structure:
   datasets (Table 3) received broken inputs;
 * :class:`MaterializationError` / :class:`ConfigurationError` — the
   materialization store and user-facing configuration surfaces;
+* :class:`StorageError` — the pluggable storage substrate
+  (:mod:`repro.storage`) was misused: unknown backend name, corrupt
+  persisted layout, or a write into a read-only mapping;
 * :class:`ParallelError` (with :class:`WorkerCrashError` /
   :class:`WorkerTimeoutError`) — the :mod:`repro.parallel` execution
   layer could not complete a fan-out.  Domain failures raised *inside* a
@@ -51,6 +54,7 @@ __all__ = [
     "DatasetError",
     "MaterializationError",
     "ConfigurationError",
+    "StorageError",
     "ParallelError",
     "WorkerCrashError",
     "WorkerTimeoutError",
@@ -119,6 +123,12 @@ class MaterializationError(ValidationError):
 
 class ConfigurationError(ValidationError):
     """A configuration surface (session, CLI, lint) was misconfigured."""
+
+
+class StorageError(ValidationError):
+    """A :mod:`repro.storage` backend was selected, constructed or
+    persisted inconsistently (unknown backend name, corrupt on-disk
+    layout, write into a read-only mapping)."""
 
 
 class ParallelError(GraphTempoError, RuntimeError):

@@ -197,8 +197,11 @@ class EventCounter:
         self.key = key
         if key is not None and not self.attributes:
             raise ExplorationError("a key filter requires aggregation attributes")
-        self._node_presence = graph.node_presence.values.astype(bool)
-        self._edge_presence = graph.edge_presence.values.astype(bool)
+        # Presence matrices come from the graph's storage backend, so
+        # exploration (and every ChainEvaluator built on this counter)
+        # reads whichever physical layout the graph selected.
+        self._node_presence = graph.storage.presence_matrix("nodes")
+        self._edge_presence = graph.storage.presence_matrix("edges")
         self._all_static = all(graph.is_static(a) for a in self.attributes)
         self._match_mask = self._build_match_mask() if self._all_static else None
         #: Integer tuple code per (entity row, time column); -1 marks an

@@ -70,6 +70,13 @@ class GraphTempoSession:
         and exploration the session runs resolves inside a
         :func:`repro.parallel.parallelism_scope` carrying this value.
         Results are identical at any setting (see ``docs/parallelism.md``).
+    storage:
+        Optional storage backend name (see :mod:`repro.storage` and
+        ``docs/storage.md``); the session graph — and every version the
+        streaming store publishes into it — is pinned to that backend.
+        ``None`` inherits the graph's selection or the
+        ``REPRO_STORAGE_BACKEND`` environment default.  Results are
+        identical for every registered backend.
 
     Examples
     --------
@@ -85,7 +92,15 @@ class GraphTempoSession:
         graph: TemporalGraph,
         hierarchy: TimeHierarchy | None = None,
         parallelism: int | str | None = None,
+        storage: str | None = None,
     ) -> None:
+        #: Storage backend name pinned for this session (``None``
+        #: inherits the graph's own selection / the env default).  Every
+        #: graph the session adopts — including versions published by
+        #: the streaming store — is re-pinned to it.
+        self.storage: str | None = storage
+        if storage is not None:
+            graph = graph.with_storage(storage)
         self.graph = graph
         self.hierarchy = hierarchy
         self.cube = TemporalGraphCube(graph, hierarchy=hierarchy)
@@ -188,7 +203,11 @@ class GraphTempoSession:
         result-cache entries for older versions) — so neither the
         session nor its server can answer from a stale timeline.
         """
-        self.graph = version.graph
+        self.graph = (
+            version.graph
+            if self.storage is None
+            else version.graph.with_storage(self.storage)
+        )
         self.cube = TemporalGraphCube(self.graph, hierarchy=self.hierarchy)
         if self._server is not None:
             self._server.rebind(version, cube=self.cube)

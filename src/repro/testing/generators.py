@@ -23,7 +23,6 @@ from typing import Any
 import numpy as np
 
 from ..core import TemporalGraph, Timeline
-from ..core.operators import presence_signature
 from ..errors import UnknownLabelError, ValidationError
 from ..frames import LabeledFrame
 
@@ -204,6 +203,7 @@ def graph_from_maps(
     static: Mapping[Hashable, Mapping[str, Any]] | None = None,
     varying: Mapping[Hashable, Mapping[str, Mapping[Hashable, Any]]] | None = None,
     allow_dangling: bool = False,
+    storage: str | None = None,
 ) -> TemporalGraph:
     """Build a graph from literal presence/attribute mappings.
 
@@ -218,6 +218,10 @@ def graph_from_maps(
     * a varying value at a time the node is absent, or an edge endpoint
       missing from ``node_times`` without ``allow_dangling`` —
       :class:`~repro.errors.ValidationError`.
+
+    ``storage`` optionally pins the rebuilt graph to a named storage
+    backend (:mod:`repro.storage`), so a reproducer replays the failure
+    on the same physical layout it was found on.
     """
     timeline = tuple(times)
     if not timeline:
@@ -304,6 +308,7 @@ def graph_from_maps(
         static_frame,
         varying_frames,
         validate=False,
+        storage=storage,
     )
 
 
@@ -312,27 +317,38 @@ def graph_to_maps(graph: TemporalGraph) -> dict[str, Any]:
 
     ``repr`` of the result is valid Python for the label types the
     generators produce (strings, ints) — the substrate of reproducer
-    snippets.
+    snippets.  Every read goes through the graph's storage backend
+    (:mod:`repro.storage`), so reproducers extract identically from any
+    registered physical layout — dense, columnar or memmapped.
     """
-    node_map, edge_map = presence_signature(graph)
-    static: dict[Hashable, dict[str, Any]] = {}
-    for row, node in enumerate(graph.static_attrs.row_labels):
-        static[node] = {
-            str(name): graph.static_attrs.values[row, col]
-            for col, name in enumerate(graph.static_attrs.col_labels)
+    backend = graph.storage
+    times = backend.times
+
+    def presence_map(entity: str) -> dict[Hashable, list[Hashable]]:
+        matrix = backend.presence_matrix(entity)
+        return {
+            label: [t for t, flag in zip(times, matrix[row]) if flag]
+            for row, label in enumerate(backend.entity_labels(entity))
         }
+
+    static: dict[Hashable, dict[str, Any]] = {
+        node: {} for node in backend.node_labels
+    }
+    for name in graph.static_attribute_names:
+        column = backend.attribute_column(name)
+        for node, value in zip(backend.node_labels, column):
+            static[node][str(name)] = value
     varying: dict[Hashable, dict[str, dict[Hashable, Any]]] = {}
     for name in graph.varying_attribute_names:
-        frame = graph.varying_attrs[name]
-        for row, node in enumerate(frame.row_labels):
-            for col, t in enumerate(frame.col_labels):
-                value = frame.values[row, col]
+        for t in times:
+            column = backend.attribute_column(name, t)
+            for node, value in zip(backend.node_labels, column):
                 if value is not None:
                     varying.setdefault(node, {}).setdefault(name, {})[t] = value
     return {
-        "times": list(graph.timeline.labels),
-        "node_times": {n: list(ts) for n, ts in node_map.items()},
-        "edge_times": {e: list(ts) for e, ts in edge_map.items()},
+        "times": list(times),
+        "node_times": presence_map("nodes"),
+        "edge_times": presence_map("edges"),
         "static": static,
         "varying": varying,
     }

@@ -37,6 +37,7 @@ DIFFERENTIAL_LAW_NAMES = (
     "incremental-replay-agrees",
     "exploration-variants-agree",
     "serving-cache-transparency",
+    "backend-storage",
 )
 
 
@@ -194,6 +195,86 @@ def _exploration_variants_agree(
             return (
                 f"explore-incremental vs {name} on {event}/{goal}/{extend} "
                 f"k={k} attrs={attrs!r} key={key!r}: {problems[0]}"
+            )
+    return None
+
+
+@register_law(
+    "backend-storage",
+    "every registered storage backend round-trips the graph bit-exactly "
+    "and serves identical presence masks, aggregates and taxonomy errors",
+)
+def _backend_storage(graph: TemporalGraph, rng: np.random.Generator) -> str | None:
+    from ..storage import backend_names, get_backend
+
+    variants: dict[str, TemporalGraph] = {}
+    for name in backend_names():
+        variant = get_backend(name).from_graph(graph).to_graph()
+        if presence_signature(variant) != presence_signature(graph):
+            return f"backend {name!r} does not round-trip presence bit-exactly"
+        variants[name] = variant
+
+    window = random_time_sets(rng, graph, n=1, hostile=bool(rng.integers(2)))[0]
+    for entity in ("nodes", "edges"):
+        for mode in ("any", "all", "none"):
+            masks = {}
+            mask_errors = {}
+            for name, variant in variants.items():
+                try:
+                    masks[name] = variant.presence_mask(entity, window, mode)
+                except GraphTempoError as exc:
+                    mask_errors[name] = type(exc).__name__
+            if mask_errors and masks:
+                return (
+                    f"backends split on {entity}/{mode} mask over {window!r}: "
+                    f"{sorted(mask_errors)} raised, {sorted(masks)} returned"
+                )
+            if mask_errors:
+                if len(set(mask_errors.values())) != 1:
+                    return (
+                        f"backends raised different {entity}/{mode} mask "
+                        f"errors: {mask_errors!r}"
+                    )
+                continue
+            names = sorted(masks)
+            reference = masks[names[0]]
+            for other in names[1:]:
+                if not np.array_equal(reference, masks[other]):
+                    return (
+                        f"{names[0]} vs {other}: {entity}/{mode} mask differs "
+                        f"over {window!r}"
+                    )
+
+    attrs = _pick_attributes(rng, graph)
+    distinct = bool(rng.integers(2))
+    times = None if rng.integers(2) else window
+    results = {}
+    errors = {}
+    for name, variant in variants.items():
+        try:
+            results[name] = aggregate(
+                variant, attrs, distinct=distinct, times=times
+            )
+        except GraphTempoError as exc:
+            errors[name] = type(exc).__name__
+    if errors and results:
+        return (
+            f"backends split on aggregate {attrs!r}/{times!r}: "
+            f"{sorted(errors)} raised {sorted(set(errors.values()))}, "
+            f"{sorted(results)} returned"
+        )
+    if errors:
+        if len(set(errors.values())) != 1:
+            return f"backends raised different aggregate errors: {errors!r}"
+        return None
+    result_names = sorted(results)
+    baseline = results[result_names[0]]
+    for other in result_names[1:]:
+        problems = baseline.diff(results[other])
+        if problems:
+            return (
+                f"{result_names[0]} vs {other} on {attrs!r}/{times!r}: "
+                f"{problems[0]}"
             )
     return None
 
