@@ -22,9 +22,12 @@ internal consistency are checked, so the gate is meaningful on any box.
 from __future__ import annotations
 
 import json
+from pathlib import Path
 
 import pytest
 
+from bench_fabric import GATE as FABRIC_GATE
+from bench_fabric import main as fabric_bench_main
 from bench_parallel_speedup import GATE, GATE_MIN_CPUS
 from bench_parallel_speedup import main as parallel_bench_main
 from bench_serving import GATE as SERVING_GATE
@@ -232,6 +235,82 @@ class TestStorageBaseline:
             ), f"{row['dataset']}: columnar mask hot path regressed"
 
 
+class TestFabricBaseline:
+    def test_structure(self, fabric_baseline):
+        meta = fabric_baseline["meta"]
+        assert not meta["smoke"]
+        assert meta["gate"] == FABRIC_GATE
+        assert meta["workers"] >= 2
+        assert meta["n_queries"] > 0
+        modes = {row["mode"] for row in fabric_baseline["arms"]}
+        assert modes == {"fabric", "percall"}
+        for row in fabric_baseline["arms"]:
+            assert row["requests"] == meta["requests"]
+            assert row["workers"] == meta["workers"]
+            assert row["qps"] > 0
+            assert row["p50_ms"] <= row["p99_ms"]
+        by_mode = {row["mode"]: row for row in fabric_baseline["arms"]}
+        assert _recomputes(
+            fabric_baseline["speedup"],
+            by_mode["fabric"]["qps"],
+            by_mode["percall"]["qps"],
+        )
+
+    def test_amortization_gate(self, fabric_baseline, bench_tolerance):
+        # Persistent pool vs per-call pool is a lifecycle-only ratio on
+        # identical work, so — unlike the parallel speedup gate — it
+        # binds regardless of the recording machine's CPU count.
+        gate = fabric_baseline["meta"]["gate"]
+        assert fabric_baseline["speedup"] >= gate * (1 - bench_tolerance), (
+            "persistent fabric regressed below the amortization gate"
+        )
+
+
+class TestBaselineCatalogue:
+    """Every committed ``BENCH_*.json`` must be parsable and covered.
+
+    A baseline that is never loaded by any fixture — or that fails to
+    parse — used to pass this suite silently; the catalogue check makes
+    a stray, broken or orphaned report a loud failure naming the file.
+    """
+
+    #: Every committed baseline and the fixture that gates it.
+    COVERED = {
+        "BENCH_explore.json": "explore_baseline",
+        "BENCH_obs.json": "obs_baseline",
+        "BENCH_parallel.json": "parallel_baseline",
+        "BENCH_streaming.json": "streaming_baseline",
+        "BENCH_serving.json": "serving_baseline",
+        "BENCH_storage.json": "storage_baseline",
+        "BENCH_fabric.json": "fabric_baseline",
+    }
+
+    def test_every_committed_report_is_covered_and_parsable(self):
+        from conftest import REPO_ROOT, load_baseline
+
+        committed = sorted(
+            path.name for path in Path(REPO_ROOT).glob("BENCH_*.json")
+        )
+        uncovered = [name for name in committed if name not in self.COVERED]
+        assert not uncovered, (
+            f"committed baselines with no regression coverage: {uncovered}; "
+            f"add a fixture + gate class for each"
+        )
+        for name in committed:
+            report = load_baseline(name)  # fails loudly, naming the file
+            assert report["meta"], name
+
+    def test_every_expected_report_is_committed(self):
+        from conftest import REPO_ROOT
+
+        missing = [
+            name
+            for name in self.COVERED
+            if not (Path(REPO_ROOT) / name).exists()
+        ]
+        assert not missing, f"expected committed baselines missing: {missing}"
+
+
 class TestLiveSmoke:
     def test_parallel_bench_smoke_run(self, tmp_path):
         """End-to-end smoke run: parity asserts fire on *this* machine."""
@@ -281,5 +360,19 @@ class TestLiveSmoke:
         assert {row["mode"] for row in report["arms"]} == {
             "cached",
             "uncached",
+        }
+        assert report["speedup"] > 0
+
+    def test_fabric_bench_smoke_run(self, tmp_path):
+        """End-to-end smoke run: the fabric-vs-naive parity asserts fire
+        on *this* machine before either pool lifecycle is timed."""
+        output = tmp_path / "BENCH_fabric.json"
+        exit_code = fabric_bench_main(["--smoke", "--output", str(output)])
+        assert exit_code == 0
+        report = json.loads(output.read_text(encoding="utf-8"))
+        assert report["meta"]["smoke"] is True
+        assert {row["mode"] for row in report["arms"]} == {
+            "fabric",
+            "percall",
         }
         assert report["speedup"] > 0

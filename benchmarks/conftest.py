@@ -33,14 +33,36 @@ REPO_ROOT = Path(__file__).resolve().parent.parent
 
 
 def load_baseline(filename: str) -> dict:
-    """Load a committed ``BENCH_*.json`` report from the repo root."""
+    """Load a committed ``BENCH_*.json`` report from the repo root.
+
+    Fails the bench_smoke gate loudly — naming the file — when the
+    baseline is missing, unreadable or unparsable.  A broken baseline
+    used to surface as collection-time noise that could scroll past; it
+    must never look like a passing gate.
+    """
     path = REPO_ROOT / filename
     if not path.exists():
         pytest.fail(
             f"committed baseline {filename} is missing — regenerate it "
             f"with the matching benchmarks/bench_*.py script"
         )
-    return json.loads(path.read_text(encoding="utf-8"))
+    try:
+        raw = path.read_text(encoding="utf-8")
+    except OSError as exc:
+        pytest.fail(f"committed baseline {filename} is unreadable: {exc}")
+    try:
+        report = json.loads(raw)
+    except json.JSONDecodeError as exc:
+        pytest.fail(
+            f"committed baseline {filename} is not valid JSON ({exc}) — "
+            f"regenerate it with the matching benchmarks/bench_*.py script"
+        )
+    if not isinstance(report, dict) or "meta" not in report:
+        pytest.fail(
+            f"committed baseline {filename} parsed but is not a benchmark "
+            f"report (no 'meta' section) — regenerate it"
+        )
+    return report
 
 
 def pytest_report_header(config):
@@ -105,6 +127,11 @@ def serving_baseline() -> dict:
 @pytest.fixture(scope="session")
 def storage_baseline() -> dict:
     return load_baseline("BENCH_storage.json")
+
+
+@pytest.fixture(scope="session")
+def fabric_baseline() -> dict:
+    return load_baseline("BENCH_fabric.json")
 
 
 @pytest.fixture(scope="session")

@@ -39,6 +39,7 @@ from __future__ import annotations
 
 import multiprocessing
 import pickle
+import threading
 import time
 from collections.abc import Callable, Sequence
 from concurrent.futures import ProcessPoolExecutor
@@ -82,6 +83,12 @@ class _SharedState:
 #: Published by the parent immediately before the pool forks (fork
 #: start method) or shipped through the pool initializer (spawn).
 _SHARED: _SharedState | None = None
+
+#: Serializes publish-then-fork so concurrent ``map`` calls from
+#: different threads (the serving workload) cannot fork a pool while
+#: another thread's payload is published in ``_SHARED``.  Held only
+#: across pool creation and submission — execution overlaps freely.
+_PUBLISH_LOCK = threading.Lock()
 
 #: True inside a pool worker process; nested fan-outs then run inline.
 _IN_WORKER = False
@@ -133,20 +140,23 @@ def _picklable(exc: BaseException) -> BaseException | None:
     return exc
 
 
-def _run_chunk(
-    chunk_index: int, tasks: list[Any]
+def _execute_chunk(
+    fn: TaskFn,
+    payload: Any,
+    chunk_index: int,
+    tasks: Sequence[Any],
+    trace_enabled: bool,
 ) -> _ChunkOutcome | _ChunkFailure:
     """Worker-side chunk loop: fresh observability, then run each task.
 
     Every chunk runs under its own tracer and metrics registry so the
     outcome carries exactly this chunk's delta; the parent merges the
     deltas in chunk order, which makes parallel traces/counters add up
-    to the serial run's.
+    to the serial run's.  Shared by the per-call pool workers here and
+    the persistent fabric workers (:mod:`repro.parallel.fabric`), so
+    both backends surface identical outcomes for identical chunks.
     """
-    state = _SHARED
-    if state is None:  # pragma: no cover - defends against pool misuse
-        raise ParallelError("worker has no shared state; pool misconfigured")
-    tracer = Tracer(enabled=state.trace_enabled)
+    tracer = Tracer(enabled=trace_enabled)
     registry = MetricsRegistry()
     previous_tracer = set_tracer(tracer)
     previous_metrics = set_metrics(registry)
@@ -155,7 +165,7 @@ def _run_chunk(
         with tracer.span("parallel.chunk", chunk=chunk_index, tasks=len(tasks)):
             for task in tasks:
                 try:
-                    results.append(state.fn(state.payload, task))
+                    results.append(fn(payload, task))
                 except Exception as exc:
                     return _ChunkFailure(
                         task=task,
@@ -166,12 +176,24 @@ def _run_chunk(
                     )
         return _ChunkOutcome(
             results=results,
-            span=tracer.last_root if state.trace_enabled else None,
+            span=tracer.last_root if trace_enabled else None,
             metrics=registry.dump(),
         )
     finally:
         set_tracer(previous_tracer)
         set_metrics(previous_metrics)
+
+
+def _run_chunk(
+    chunk_index: int, tasks: list[Any]
+) -> _ChunkOutcome | _ChunkFailure:
+    """Pool-worker entry point: run one chunk against the shared state."""
+    state = _SHARED
+    if state is None:  # pragma: no cover - defends against pool misuse
+        raise ParallelError("worker has no shared state; pool misconfigured")
+    return _execute_chunk(
+        state.fn, state.payload, chunk_index, tasks, state.trace_enabled
+    )
 
 
 class Executor:
@@ -305,24 +327,34 @@ class ParallelExecutor(Executor):
         fake dispatch).
         """
         # Sanctioned fork-COW channel (see _init_worker): published once
-        # before the pool forks, cleared in the finally below.
+        # before the pool forks, cleared once every worker has forked.
+        # The publish lock makes the channel safe under concurrent map
+        # calls from different threads: pool workers fork lazily during
+        # submission, so publish + create + submit must be atomic or a
+        # sibling thread's pool could fork while *this* payload is the
+        # one published.  Only submission serializes; chunk execution
+        # and result gathering overlap across threads.
         global _SHARED  # lint: ignore[GT009]
         state = _SharedState(fn, payload, get_tracer().enabled)
         fork = self.start_method == "fork"
-        _SHARED = state  # lint: ignore[GT009]
-        pool = ProcessPoolExecutor(
-            max_workers=min(self.workers, len(chunks)),
-            mp_context=multiprocessing.get_context(self.start_method),
-            initializer=_init_worker,
-            initargs=(None if fork else state,),
-        )
         deadline = None if self.timeout is None else time.monotonic() + self.timeout
         outcomes: dict[int, _ChunkOutcome] = {}
+        with _PUBLISH_LOCK:
+            _SHARED = state  # lint: ignore[GT009]
+            try:
+                pool = ProcessPoolExecutor(
+                    max_workers=min(self.workers, len(chunks)),
+                    mp_context=multiprocessing.get_context(self.start_method),
+                    initializer=_init_worker,
+                    initargs=(None if fork else state,),
+                )
+                futures = [
+                    (chunk, pool.submit(_run_chunk, chunk.index, _slice(tasks, chunk)))
+                    for chunk in chunks
+                ]
+            finally:
+                _SHARED = None  # lint: ignore[GT009]
         try:
-            futures = [
-                (chunk, pool.submit(_run_chunk, chunk.index, _slice(tasks, chunk)))
-                for chunk in chunks
-            ]
             for chunk, future in futures:
                 remaining = (
                     None if deadline is None else max(0.0, deadline - time.monotonic())
@@ -356,7 +388,6 @@ class ParallelExecutor(Executor):
                     )
                 outcomes[chunk.index] = outcome
         finally:
-            _SHARED = None  # lint: ignore[GT009]
             pool.shutdown(wait=False, cancel_futures=True)
         return outcomes
 

@@ -1,0 +1,141 @@
+"""Shard planning for the execution fabric.
+
+A *shard* is one worker's pinned fraction of an index space.  The fabric
+(:mod:`repro.parallel.fabric`) partitions every fan-out's task index
+space over its workers with :func:`plan_shards` and routes each task
+group to the worker owning its range (:func:`route_position`), so the
+same relative region of a graph keeps landing on the same worker across
+calls — that worker's memmapped pages, attribute pools and branch
+predictors stay warm.
+
+Because the repository's fan-out sites build their task lists in entity
+order (aggregation partials) or reference-time order (exploration
+chains), index-space sharding *is* entity-range sharding for aggregation
+and time-window sharding for exploration — one mechanism, both paper
+axes.  :func:`shard_backend` additionally materializes physical shard
+slices of a storage backend (entity ranges via
+:meth:`~repro.storage.GraphStorageBackend.slice_entities`, time windows
+via :meth:`~repro.storage.GraphStorageBackend.slice_time`) for
+shard-local workloads and the parity suite.
+
+Sharding never affects results: routing is a locality heuristic, merge
+order is fixed by chunk index (see :func:`repro.parallel.plan.assemble`),
+and the parity suite diffs every sharding against the inline executor
+bit-exactly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import ConfigurationError
+from ..storage.base import GraphStorageBackend
+
+__all__ = ["Shard", "plan_shards", "route_position", "shard_backend"]
+
+
+@dataclass(frozen=True)
+class Shard:
+    """One worker's contiguous slice ``[start:stop)`` of an index space.
+
+    A shard may be empty (``start == stop``) when there are fewer items
+    than shards; empty shards sit at the tail so the populated prefix
+    matches the populated workers.
+    """
+
+    index: int
+    start: int
+    stop: int
+
+    def __len__(self) -> int:
+        return self.stop - self.start
+
+    def owns(self, position: int) -> bool:
+        """Whether ``position`` falls inside this shard's range."""
+        return self.start <= position < self.stop
+
+    def __str__(self) -> str:
+        return f"shard[{self.index}]({self.start}:{self.stop})"
+
+
+def plan_shards(n_items: int, n_shards: int) -> tuple[Shard, ...]:
+    """Partition ``range(n_items)`` into ``n_shards`` balanced shards.
+
+    Always returns exactly ``n_shards`` shards — one per worker, so the
+    pinning is total — with contiguous, ordered ranges whose sizes
+    differ by at most one; when ``n_items < n_shards`` the tail shards
+    are empty rather than the plan being truncated.  ``n_items=0``
+    yields all-empty shards.  Deterministic in its arguments.
+    """
+    if n_items < 0:
+        raise ConfigurationError(f"n_items must be >= 0, got {n_items}")
+    if n_shards < 1:
+        raise ConfigurationError(f"n_shards must be >= 1, got {n_shards}")
+    base, extra = divmod(n_items, n_shards)
+    shards = []
+    start = 0
+    for index in range(n_shards):
+        size = base + (1 if index < extra else 0)
+        shards.append(Shard(index, start, start + size))
+        start += size
+    return tuple(shards)
+
+
+def route_position(position: int, n_items: int, n_shards: int) -> int:
+    """The shard index owning ``position`` under :func:`plan_shards`.
+
+    Positions outside ``range(n_items)`` clamp to the nearest shard, so
+    routing a boundary chunk never falls off the plan.
+    """
+    if n_shards < 1:
+        raise ConfigurationError(f"n_shards must be >= 1, got {n_shards}")
+    if n_items <= 0:
+        return 0
+    position = max(0, min(n_items - 1, position))
+    base, extra = divmod(n_items, n_shards)
+    # The first `extra` shards hold (base + 1) items each.
+    boundary = extra * (base + 1)
+    if position < boundary:
+        return position // (base + 1)
+    if base == 0:  # fewer items than shards; everything lives in the prefix
+        return min(position, n_shards - 1)
+    return extra + (position - boundary) // base
+
+
+def shard_backend(
+    backend: GraphStorageBackend,
+    n_shards: int,
+    by: str = "entity",
+) -> tuple[GraphStorageBackend, ...]:
+    """Materialized physical shards of a storage backend.
+
+    ``by="entity"`` slices node rows into balanced ranges (edge rows and
+    the timeline stay whole — aggregation partials merge across node
+    shards); ``by="edges"`` slices edge rows instead; ``by="time"``
+    slices the timeline into contiguous windows, keeping every entity
+    row.  Empty shards are returned as empty slices, keeping the plan
+    total.  Every shard is a full :class:`~repro.storage.GraphStorageBackend`
+    honoring the whole conformance contract over its slice.
+    """
+    if by in ("entity", "nodes"):
+        plan = plan_shards(len(backend.node_labels), n_shards)
+        return tuple(
+            backend.slice_entities("nodes", shard.start, shard.stop)
+            for shard in plan
+        )
+    if by == "edges":
+        plan = plan_shards(len(backend.edge_labels), n_shards)
+        return tuple(
+            backend.slice_entities("edges", shard.start, shard.stop)
+            for shard in plan
+        )
+    if by == "time":
+        times = backend.times
+        plan = plan_shards(len(times), n_shards)
+        return tuple(
+            backend.slice_time(times[shard.start : shard.stop])
+            for shard in plan
+        )
+    raise ConfigurationError(
+        f"unknown shard axis {by!r}; expected 'entity', 'edges' or 'time'"
+    )
